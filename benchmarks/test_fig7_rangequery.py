@@ -1,0 +1,93 @@
+"""Figs. 7a-7b — range-query bandwidth and latency.
+
+Regenerates the five-variant comparison across range spans (tables
+under ``results/``) and asserts the paper's orderings, then times one
+representative query per variant on prebuilt indexes.
+"""
+
+import pytest
+
+from repro.experiments import fig7
+from repro.experiments.harness import build_index
+from repro.workloads.queries import uniform_range_queries
+
+from .conftest import publish
+
+#: Spans used by the timed benchmarks (the table uses DEFAULT_SPANS).
+_BENCH_SPAN = 0.2
+
+
+@pytest.fixture(scope="module")
+def query_dataset(dataset):
+    # Range queries over DST at full depth are the costliest part of
+    # the suite; cap the build size so the bench stays snappy while
+    # REPRO_BENCH_FULL still exercises the paper's cardinality.
+    return dataset
+
+
+@pytest.fixture(scope="module")
+def rangequery_series(query_dataset, paper_config):
+    series = fig7.run_rangequery_experiment(
+        query_dataset, paper_config, queries_per_span=10
+    )
+    publish("fig7ab_range_query.txt", fig7.render(series))
+    by_name = {entry.variant: entry for entry in series}
+    spans = by_name["mlight-basic"].spans
+    for position in range(len(spans)):
+        basic_bw = by_name["mlight-basic"].bandwidth[position]
+        # Fig. 7a: m-LIGHT basic is the most bandwidth-efficient;
+        # DST is an order of magnitude above everyone.
+        assert basic_bw <= by_name["mlight-parallel-2"].bandwidth[position]
+        assert basic_bw < by_name["pht"].bandwidth[position]
+        assert by_name["dst"].bandwidth[position] > 5 * basic_bw
+        # Fig. 7b: parallel-4 <= parallel-2 <= basic <= PHT.
+        assert (
+            by_name["mlight-parallel-4"].latency[position]
+            <= by_name["mlight-parallel-2"].latency[position]
+            <= by_name["mlight-basic"].latency[position]
+            <= by_name["pht"].latency[position]
+        )
+    # Fig. 7b: DST wins for small ranges but degrades with span.
+    dst = by_name["dst"].latency
+    assert dst[0] <= by_name["mlight-basic"].latency[0]
+    assert dst[-1] > dst[0]
+    return series
+
+
+@pytest.fixture(scope="module")
+def built_indexes(query_dataset, paper_config):
+    indexes = {}
+    for scheme in ("mlight", "pht", "dst"):
+        index = build_index(scheme, paper_config)
+        for point in query_dataset:
+            index.insert(point)
+        indexes[scheme] = index
+    return indexes
+
+
+@pytest.mark.parametrize(
+    "variant, scheme, lookahead",
+    [
+        ("mlight-basic", "mlight", 1),
+        ("mlight-parallel-2", "mlight", 2),
+        ("mlight-parallel-4", "mlight", 4),
+        ("pht", "pht", None),
+        ("dst", "dst", None),
+    ],
+)
+def test_fig7_query_time(benchmark, built_indexes, rangequery_series,
+                         variant, scheme, lookahead):
+    """Wall-clock time of one mid-size range query per variant."""
+    index = built_indexes[scheme]
+    queries = uniform_range_queries(16, _BENCH_SPAN, seed=20090622)
+    state = {"position": 0}
+
+    def run_one():
+        query = queries[state["position"] % len(queries)]
+        state["position"] += 1
+        if lookahead is None:
+            return index.range_query(query)
+        return index.range_query(query, lookahead=lookahead)
+
+    result = benchmark(run_one)
+    assert result.records is not None

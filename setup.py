@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package,
+so PEP-660 editable installs fail; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on machines with wheel) work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro — a reproduction of m-LIGHT (ICDCS 2009).
+
+m-LIGHT indexes multi-dimensional data over any DHT exposing the
+generic ``put/get/lookup`` interface.  This package provides the index
+(:class:`~repro.core.index.MLightIndex`), the PHT and DST baselines it
+is evaluated against, three interchangeable DHT substrates, dataset and
+workload generators, and the experiment harness that regenerates every
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import LocalDht, MLightIndex, IndexConfig, Region
+
+    index = MLightIndex(LocalDht(n_peers=128), IndexConfig(dims=2))
+    index.insert((0.31, 0.62), value="point-a")
+    index.insert((0.35, 0.60), value="point-b")
+    result = index.range_query(Region((0.3, 0.6), (0.4, 0.7)))
+    print([record.value for record in result.records])
+"""
+
+from repro.common.config import IndexConfig
+from repro.common.errors import ReproError
+from repro.common.geometry import Point, Region, unit_region
+from repro.core.bucket import LeafBucket
+from repro.core.bulkload import bulk_load
+from repro.core.index import MLightIndex
+from repro.core.records import Record
+from repro.core.split import DataAwareSplit, ThresholdSplit
+from repro.dht.chord import ChordDht
+from repro.dht.kademlia import KademliaDht
+from repro.dht.localhash import LocalDht
+from repro.dht.pastry import PastryDht
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IndexConfig",
+    "ReproError",
+    "Point",
+    "Region",
+    "unit_region",
+    "LeafBucket",
+    "bulk_load",
+    "MLightIndex",
+    "Record",
+    "DataAwareSplit",
+    "ThresholdSplit",
+    "ChordDht",
+    "KademliaDht",
+    "LocalDht",
+    "PastryDht",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Baseline over-DHT indexes the paper evaluates against.
+
+* :class:`~repro.baselines.pht.PhtIndex` — Prefix Hash Tree
+  (Chawathe et al., SIGCOMM'05 / Ramabhadran et al., PODC'04) over a
+  z-order linearisation of the multi-dimensional space.
+* :class:`~repro.baselines.dst.DstIndex` — Distributed Segment Tree
+  (Zheng et al., IPTPS'06; quad-tree flavour per Shen et al.'s TR),
+  with ancestor replication and node saturation.
+
+Both consume only the generic DHT facade, exactly like m-LIGHT, so the
+three schemes are compared on identical substrates and identical cost
+meters.
+"""
+
+from repro.baselines.interface import OverDhtIndex
+from repro.baselines.pht import PhtIndex
+from repro.baselines.dst import DstIndex
+
+__all__ = ["OverDhtIndex", "PhtIndex", "DstIndex"]

@@ -1,0 +1,39 @@
+"""Common interface of all three over-DHT indexes.
+
+The experiment harness drives m-LIGHT, PHT and DST through this
+protocol only, so every figure runner is index-agnostic.  All three
+report costs through the shared :class:`~repro.dht.api.DhtStats` of
+their DHT and return :class:`~repro.core.rangequery.RangeQueryResult`
+from range queries.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.common.geometry import Point, Region
+from repro.core.rangequery import RangeQueryResult
+from repro.dht.api import Dht
+
+
+class OverDhtIndex(ABC):
+    """An index layered over the generic DHT ``put/get/lookup`` API."""
+
+    dht: Dht
+
+    @abstractmethod
+    def insert(self, key: Point, value: Any = None) -> None:
+        """Insert one record."""
+
+    @abstractmethod
+    def delete(self, key: Point, value: Any = None) -> bool:
+        """Delete one record; False when absent."""
+
+    @abstractmethod
+    def range_query(self, query: Region) -> RangeQueryResult:
+        """Return every record matching the closed region *query*."""
+
+    @abstractmethod
+    def total_records(self) -> int:
+        """Number of *distinct* records indexed (replicas not counted)."""

@@ -1,0 +1,130 @@
+"""Naive kd-tree-over-DHT mapping (ablation baseline).
+
+Strips m-LIGHT of its naming function: the bucket of leaf λ is stored
+at DHT key λ itself.  Two costs reappear immediately, which is the
+point of ablation A1:
+
+* a split must transfer **both** children to fresh keys (no survivor
+  stays under the old key), doubling split movement and puts;
+* binary search on the candidate set no longer works — a missing key
+  cannot distinguish "below a leaf" from "internal node", because
+  internal labels hold nothing — so lookups probe candidate prefixes
+  linearly from the root, O(depth) instead of O(log D).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.config import IndexConfig
+from repro.common.errors import IndexCorruptionError
+from repro.common.geometry import Point, Region, check_point
+from repro.common.labels import candidate_string, root_label
+from repro.core.bucket import LeafBucket
+from repro.core.records import Record
+from repro.core.rangequery import RangeQueryResult
+from repro.core.split import ThresholdSplit
+from repro.baselines.interface import OverDhtIndex
+from repro.dht.api import Dht
+
+_PREFIX = "naive:"
+
+
+def _key(label: str) -> str:
+    return _PREFIX + label
+
+
+class NaiveTreeIndex(OverDhtIndex):
+    """Space kd-tree with identity label-to-key mapping."""
+
+    def __init__(self, dht: Dht, config: IndexConfig | None = None) -> None:
+        self.dht = dht
+        self._config = config if config is not None else IndexConfig()
+        self._dims = self._config.dims
+        self._strategy = ThresholdSplit(
+            self._config.split_threshold, self._config.merge_threshold
+        )
+        root = root_label(self._dims)
+        if self.dht.peek(_key(root)) is None:
+            self.dht.put(_key(root), LeafBucket(root, self._dims))
+
+    def lookup(self, point: Point) -> tuple[LeafBucket, int]:
+        """Linear probing of candidate labels from the root downward."""
+        point = check_point(point, self._dims)
+        candidate = candidate_string(point, self._config.max_depth)
+        probes = 0
+        for length in range(self._dims + 1, len(candidate) + 1):
+            probes += 1
+            bucket = self.dht.get(_key(candidate[:length]))
+            if bucket is not None:
+                return bucket, probes
+        raise IndexCorruptionError(
+            f"naive lookup of {point} found no leaf on its path"
+        )
+
+    def insert(self, key: Point, value: Any = None) -> None:
+        record = Record.make(key, value, dims=self._dims)
+        bucket, _ = self.lookup(record.key)
+        bucket.add(record)
+        self.dht.stats.records_moved += 1
+        self.dht.rewrite_local(_key(bucket.label), bucket)
+        plan = self._strategy.plan_split(
+            bucket.label, bucket.records, self._dims, self._config.max_depth
+        )
+        if plan is None:
+            return
+        # Without the naming bijection there is no surviving child:
+        # every plan leaf is a routed put and the origin key is freed.
+        self.dht.remove(_key(bucket.label))
+        for label, records in plan.leaves:
+            self.dht.put(
+                _key(label),
+                LeafBucket(label, self._dims, list(records)),
+                records_moved=len(records),
+            )
+
+    def delete(self, key: Point, value: Any = None) -> bool:
+        point = check_point(tuple(key), self._dims)
+        bucket, _ = self.lookup(point)
+        for record in bucket.records:
+            if record.key == point and (
+                value is None or record.value == value
+            ):
+                bucket.remove(record)
+                self.dht.rewrite_local(_key(bucket.label), bucket)
+                return True
+        return False
+
+    def range_query(self, query: Region) -> RangeQueryResult:
+        """Root-anchored tree descent (each visited label is one get)."""
+        from repro.common.geometry import query_overlaps_cell, region_of_label
+
+        result = RangeQueryResult()
+        frontier = [root_label(self._dims)]
+        round_number = 0
+        while frontier:
+            round_number += 1
+            result.rounds = max(result.rounds, round_number)
+            next_frontier: list[str] = []
+            for label in frontier:
+                result.lookups += 1
+                bucket = self.dht.get(_key(label))
+                if bucket is not None:
+                    if label not in result.visited_leaves:
+                        result.visited_leaves.add(label)
+                        result.records.extend(bucket.matching(query))
+                    continue
+                for child in (label + "0", label + "1"):
+                    if query_overlaps_cell(
+                        query, region_of_label(child, self._dims)
+                    ):
+                        next_frontier.append(child)
+            frontier = next_frontier
+        return result
+
+    def total_records(self) -> int:
+        return sum(
+            value.load
+            for key, value in self.dht.items()
+            if key.startswith(_PREFIX) and isinstance(value, LeafBucket)
+        )

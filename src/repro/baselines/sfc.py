@@ -1,0 +1,60 @@
+"""Z-order (Morton) space-filling curve.
+
+PHT and DST index multi-dimensional keys through a one-dimensional
+linearisation (Section 2.2's "SFC indexing"); both use the z-order
+curve, whose bit-interleaved prefixes coincide with the cells of the
+alternating space partition (:func:`repro.common.geometry.region_of_bits`).
+This module provides the integer encode/decode pair used by tests and
+by anything needing curve *ranges* rather than trie prefixes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.common.errors import InvalidPointError
+from repro.common.labels import coordinate_bits, interleave
+
+
+def z_prefix(point: Sequence[float], depth: int) -> str:
+    """The *depth*-bit z-order trie prefix containing *point*.
+
+    Identical to label interleaving: bit k is bit ``k // m + 1`` of
+    coordinate ``k % m``.
+    """
+    return interleave(point, depth)
+
+
+def z_encode(point: Sequence[float], bits_per_dim: int) -> int:
+    """Encode *point* as an integer position on the z-order curve."""
+    dims = len(point)
+    prefix = interleave(point, bits_per_dim * dims)
+    return int(prefix, 2) if prefix else 0
+
+
+def z_decode(code: int, dims: int, bits_per_dim: int) -> tuple[float, ...]:
+    """Decode a curve position back to the low corner of its cell."""
+    total_bits = bits_per_dim * dims
+    if code < 0 or code >= (1 << total_bits):
+        raise InvalidPointError(
+            f"code {code} out of range for {total_bits} bits"
+        )
+    bits = format(code, f"0{total_bits}b") if total_bits else ""
+    coords = []
+    for dim in range(dims):
+        value = 0.0
+        scale = 0.5
+        for position in range(bits_per_dim):
+            if bits[position * dims + dim] == "1":
+                value += scale
+            scale /= 2.0
+        coords.append(value)
+    return tuple(coords)
+
+
+def z_cell_low_corner_bits(point: Sequence[float], bits_per_dim: int) -> str:
+    """Concatenated (non-interleaved) per-dimension expansions; a
+    convenience for debugging curve layouts."""
+    return "|".join(
+        coordinate_bits(value, bits_per_dim) for value in point
+    )

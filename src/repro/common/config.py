@@ -1,0 +1,53 @@
+"""Configuration dataclasses shared by indexes and experiments.
+
+All tunables of the paper's Section 7 appear here with the paper's
+values as defaults, so an experiment is fully described by one
+:class:`IndexConfig` plus a workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ReproError
+
+
+@dataclass(frozen=True, slots=True)
+class IndexConfig:
+    """Static parameters of an over-DHT index instance.
+
+    Attributes:
+        dims: data dimensionality ``m`` (the paper evaluates 2-D).
+        max_depth: the maximum possible index-tree depth ``D`` known to
+            every peer in advance (Section 5; the paper's evaluation
+            uses ``D = 28``).
+        split_threshold: ``theta_split`` — a leaf holding more records
+            splits (threshold-based maintenance, Section 4.1).
+        merge_threshold: ``theta_merge`` — a sibling leaf pair holding
+            fewer records in total merges; must stay below
+            ``split_threshold`` for split/merge consistency (the paper
+            suggests ``theta_split / 2``).
+        expected_load: ``epsilon`` — the expected per-bucket load of the
+            data-aware splitting strategy (Section 4.2; paper uses 70).
+    """
+
+    dims: int = 2
+    max_depth: int = 28
+    split_threshold: int = 100
+    merge_threshold: int = 50
+    expected_load: int = 70
+
+    def __post_init__(self) -> None:
+        if self.dims < 1:
+            raise ReproError(f"dims must be >= 1, got {self.dims}")
+        if self.max_depth < 1:
+            raise ReproError(f"max_depth must be >= 1, got {self.max_depth}")
+        if self.split_threshold < 1:
+            raise ReproError("split_threshold must be >= 1")
+        if not 0 <= self.merge_threshold < self.split_threshold:
+            raise ReproError(
+                "merge_threshold must satisfy 0 <= theta_merge < theta_split "
+                f"(got {self.merge_threshold} vs {self.split_threshold})"
+            )
+        if self.expected_load < 1:
+            raise ReproError("expected_load (epsilon) must be >= 1")

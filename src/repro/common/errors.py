@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+Every library-raised exception derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.  Errors are raised as
+early as the offending input is detected (fail fast), per the library's
+style guide.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidLabelError(ReproError, ValueError):
+    """A kd-tree label string is malformed for the given dimensionality."""
+
+
+class InvalidPointError(ReproError, ValueError):
+    """A data key is outside the unit hypercube or has the wrong arity."""
+
+
+class InvalidRegionError(ReproError, ValueError):
+    """A query region is degenerate or outside the unit hypercube."""
+
+
+class IndexCorruptionError(ReproError, RuntimeError):
+    """The distributed index reached a state that violates an invariant.
+
+    Seeing this exception means a bug in the index layer (or a lossy DHT
+    used where a lossless one was required), never a bad user input.
+    """
+
+
+class DhtKeyError(ReproError, KeyError):
+    """A DHT operation referenced a key that does not exist."""
+
+
+class NodeUnreachableError(ReproError, RuntimeError):
+    """A simulated peer was contacted after it left or failed."""

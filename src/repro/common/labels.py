@@ -1,0 +1,235 @@
+"""Label algebra for the space kd-tree (Section 3.2 of the paper).
+
+A *label* is a binary string identifying one node of the space kd-tree:
+
+* the **virtual root** is ``m`` consecutive ``'0'`` characters, where
+  ``m`` is the data dimensionality;
+* the **ordinary root**, written ``#`` in the paper, is the virtual
+  root followed by ``'1'`` (for 2-D data, ``# == "001"``, three bits);
+* every other node appends one bit per tree edge below the root —
+  ``'0'`` for the lower half of the split, ``'1'`` for the upper half.
+
+The split at tree depth ``d`` (the root is depth 0) halves dimension
+``d % m``; this is the alternating space partitioning of Fig. 1a.  The
+partitioning is *data independent*, so every peer can reconstruct the
+cell of any label locally — the property all distributed algorithms in
+the paper rely on.
+
+Labels are plain Python ``str`` values.  They are hashable, cheap, and
+directly usable as DHT keys, which keeps the whole stack explicit.
+
+Coordinate convention
+---------------------
+We interleave dimension 0 first (standard Morton order).  The paper's
+worked example interleaves its second printed coordinate first; the two
+conventions differ only by a relabelling of axes and every theorem holds
+under either.  See ``DESIGN.md``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.common.errors import InvalidLabelError, InvalidPointError
+
+#: Number of bits of per-dimension resolution used when converting a
+#: float coordinate in [0, 1) to its binary expansion.  Multiplying by a
+#: power of two is exact for IEEE-754 doubles, so the expansion is
+#: deterministic.  60 bits is far deeper than any index tree we build.
+MAX_RESOLUTION_BITS = 60
+
+_SCALE = 1 << MAX_RESOLUTION_BITS
+
+
+def virtual_root(dims: int) -> str:
+    """Return the virtual-root label: ``m`` consecutive ``'0'`` bits."""
+    _check_dims(dims)
+    return "0" * dims
+
+
+def root_label(dims: int) -> str:
+    """Return the ordinary root label ``#`` (virtual root plus ``'1'``)."""
+    _check_dims(dims)
+    return "0" * dims + "1"
+
+
+def is_valid_label(label: str, dims: int) -> bool:
+    """Return True when *label* names a node of an ``m``-d space kd-tree.
+
+    Valid labels are the virtual root itself, or any extension of the
+    ordinary root by zero or more ``0``/``1`` edge bits.
+    """
+    if dims < 1:
+        return False
+    if not label or any(ch not in "01" for ch in label):
+        return False
+    if label == virtual_root(dims):
+        return True
+    return label.startswith(root_label(dims))
+
+
+def label_depth(label: str, dims: int) -> int:
+    """Return the tree depth of *label*; the ordinary root has depth 0.
+
+    The virtual root has depth -1 by convention (it sits above the
+    ordinary root).
+    """
+    _check_label(label, dims)
+    return len(label) - dims - 1
+
+
+def parent(label: str, dims: int) -> str:
+    """Return the parent label (one bit shorter).
+
+    The parent of the ordinary root is the virtual root; the virtual
+    root has no parent and asking for one raises
+    :class:`InvalidLabelError`.
+    """
+    _check_label(label, dims)
+    if label == virtual_root(dims):
+        raise InvalidLabelError("the virtual root has no parent")
+    return label[:-1]
+
+
+def children(label: str, dims: int) -> tuple[str, str]:
+    """Return the two child labels ``(label + '0', label + '1')``.
+
+    The virtual root is special: its only child is the ordinary root,
+    and this function rejects it — use :func:`root_label` directly.
+    """
+    _check_label(label, dims)
+    if label == virtual_root(dims):
+        raise InvalidLabelError(
+            "the virtual root has a single child; use root_label()"
+        )
+    return label + "0", label + "1"
+
+
+def sibling(label: str, dims: int) -> str:
+    """Return the sibling label (last edge bit inverted).
+
+    The ordinary root and the virtual root have no sibling.
+    """
+    _check_label(label, dims)
+    if len(label) <= dims + 1:
+        raise InvalidLabelError(f"label {label!r} has no sibling")
+    last = "1" if label[-1] == "0" else "0"
+    return label[:-1] + last
+
+
+def ancestors(label: str, dims: int) -> Iterator[str]:
+    """Yield proper ancestors of *label*, nearest first, ending at the
+    virtual root.
+
+    For leaf ``#01`` in 2-D this yields ``#0``, ``#`` and ``00``.
+    """
+    _check_label(label, dims)
+    for end in range(len(label) - 1, dims - 1, -1):
+        yield label[:end]
+
+
+def branch_nodes_between(leaf: str, top: str, dims: int) -> list[str]:
+    """Return the *branch nodes* between *leaf* and its ancestor *top*.
+
+    Branch nodes are the siblings of every node on the path from *leaf*
+    up to, but excluding, *top* (Section 3.3).  Together with *leaf*
+    itself their regions exactly tile the region of *top*, which is what
+    the range-query decomposition exploits.  Returned nearest-to-*top*
+    first (shallowest first).
+    """
+    _check_label(leaf, dims)
+    _check_label(top, dims)
+    if not leaf.startswith(top) or leaf == top:
+        raise InvalidLabelError(
+            f"{top!r} is not a proper ancestor of {leaf!r}"
+        )
+    branches = []
+    for end in range(len(top) + 1, len(leaf) + 1):
+        branches.append(sibling(leaf[:end], dims))
+    return branches
+
+
+def split_dimension(label: str, dims: int) -> int:
+    """Return the dimension halved when *label*'s cell splits.
+
+    The root cell (depth 0) splits dimension 0, its children split
+    dimension 1, and so on, cycling through all ``m`` dimensions.
+    """
+    depth = label_depth(label, dims)
+    if depth < 0:
+        raise InvalidLabelError("the virtual root does not split the space")
+    return depth % dims
+
+
+def coordinate_bits(coordinate: float, depth: int) -> str:
+    """Return the first *depth* bits of the binary expansion of
+    *coordinate*, which must lie in ``[0, 1)``.
+
+    ``0.2 -> '0011...'`` and ``0.4 -> '0110...'`` as in the paper's
+    lookup example (Section 5).
+    """
+    if not 0.0 <= coordinate < 1.0:
+        raise InvalidPointError(
+            f"coordinate {coordinate!r} outside [0, 1)"
+        )
+    if depth < 0:
+        raise InvalidPointError(f"negative bit depth {depth}")
+    if depth > MAX_RESOLUTION_BITS:
+        raise InvalidPointError(
+            f"bit depth {depth} exceeds resolution {MAX_RESOLUTION_BITS}"
+        )
+    scaled = int(coordinate * _SCALE)
+    bits = []
+    for position in range(1, depth + 1):
+        bits.append("1" if scaled >> (MAX_RESOLUTION_BITS - position) & 1 else "0")
+    return "".join(bits)
+
+
+def interleave(point: Sequence[float], depth: int) -> str:
+    """Interleave the binary expansions of all coordinates of *point*.
+
+    Produces *depth* bits total: bit ``k`` (0-based) is bit
+    ``k // m + 1`` of coordinate ``k % m``.  Prefixes of the result,
+    appended to the root label, enumerate the cells containing *point*
+    from the whole space downward.
+    """
+    dims = len(point)
+    _check_dims(dims)
+    per_dim = -(-depth // dims) if depth else 0  # ceil division
+    expansions = [coordinate_bits(value, per_dim) for value in point]
+    out = []
+    for k in range(depth):
+        out.append(expansions[k % dims][k // dims])
+    return "".join(out)
+
+
+def candidate_string(point: Sequence[float], max_depth: int) -> str:
+    """Return the longest candidate label for *point* (Section 5).
+
+    This is the root label followed by ``max_depth`` interleaved bits;
+    the leaf bucket covering *point* is labelled by exactly one prefix
+    of this string of length at least ``m + 1``.
+    """
+    dims = len(point)
+    return root_label(dims) + interleave(point, max_depth)
+
+
+def common_prefix(first: str, second: str) -> str:
+    """Return the longest common prefix of two bit strings."""
+    limit = min(len(first), len(second))
+    for position in range(limit):
+        if first[position] != second[position]:
+            return first[:position]
+    return first[:limit]
+
+
+def _check_dims(dims: int) -> None:
+    if dims < 1:
+        raise InvalidLabelError(f"dimensionality must be >= 1, got {dims}")
+
+
+def _check_label(label: str, dims: int) -> None:
+    if not is_valid_label(label, dims):
+        raise InvalidLabelError(
+            f"{label!r} is not a valid label for {dims}-dimensional data"
+        )

@@ -1,0 +1,102 @@
+"""Leaf buckets — the distributed pieces of the decomposed kd-tree.
+
+A leaf bucket stores two components (Section 3.3):
+
+* the **label store** — the leaf's own label λ, which *encodes the
+  whole local tree*: every ancestor is a prefix of λ and every branch
+  node (an ancestor's sibling) is a modified prefix with the final bit
+  inverted.  No adjacency lists are materialised or maintained;
+* the **record store** — the data records whose keys fall in the
+  leaf's cell.
+
+Buckets are the unit of DHT storage: the bucket of leaf λ lives at DHT
+key ``fmd(λ)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import InvalidLabelError
+from repro.common.geometry import Region, region_of_label
+from repro.common.labels import ancestors, branch_nodes_between, is_valid_label
+from repro.core.records import Record
+
+
+@dataclass(slots=True)
+class LeafBucket:
+    """One leaf of the space kd-tree, as stored in the DHT."""
+
+    label: str
+    dims: int
+    records: list[Record] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not is_valid_label(self.label, self.dims):
+            raise InvalidLabelError(
+                f"{self.label!r} is not a valid {self.dims}-d leaf label"
+            )
+
+    # ------------------------------------------------------------------
+    # Record store
+    # ------------------------------------------------------------------
+
+    @property
+    def load(self) -> int:
+        """Number of records stored (the paper's bucket load ``l``)."""
+        return len(self.records)
+
+    @property
+    def is_empty(self) -> bool:
+        """True for an empty bucket (the Fig. 6b measure)."""
+        return not self.records
+
+    def add(self, record: Record) -> None:
+        """Insert *record*; its key must fall inside this cell."""
+        if not self.covers(record.key):
+            raise InvalidLabelError(
+                f"record {record.key} outside cell of leaf {self.label!r}"
+            )
+        self.records.append(record)
+
+    def remove(self, record: Record) -> bool:
+        """Remove one occurrence of *record*; True when found."""
+        try:
+            self.records.remove(record)
+        except ValueError:
+            return False
+        return True
+
+    def matching(self, query: Region) -> list[Record]:
+        """Records whose keys match the closed *query* region."""
+        return [
+            record
+            for record in self.records
+            if query.contains_point_closed(record.key)
+        ]
+
+    # ------------------------------------------------------------------
+    # Label store (the encoded local tree)
+    # ------------------------------------------------------------------
+
+    @property
+    def region(self) -> Region:
+        """The half-open cell this leaf indexes."""
+        return region_of_label(self.label, self.dims)
+
+    def covers(self, point) -> bool:
+        """True when *point* falls in this leaf's cell."""
+        return self.region.contains_point(point)
+
+    def local_tree_ancestors(self) -> list[str]:
+        """All ancestors of this leaf, nearest first (the local tree)."""
+        return list(ancestors(self.label, self.dims))
+
+    def branch_nodes_below(self, top: str) -> list[str]:
+        """Branch nodes between this leaf and ancestor *top*,
+        shallowest first — the forwarding targets of Algorithm 3."""
+        return branch_nodes_between(self.label, top, self.dims)
+
+    def is_descendant_or_self_of(self, other: str) -> bool:
+        """True when this leaf lies in the subtree rooted at *other*."""
+        return self.label.startswith(other)

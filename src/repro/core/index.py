@@ -1,0 +1,357 @@
+"""The public m-LIGHT index.
+
+:class:`MLightIndex` composes the naming function, the lookup engine,
+the range-query engine and a split strategy over any
+:class:`~repro.dht.api.Dht`.  All maintenance follows the incremental
+property of Theorem 5:
+
+* a **split** rewrites the surviving child in place (its name equals
+  the dead leaf's name, hence the same DHT key and peer) and transfers
+  only the other child(ren) — one routed put per moved leaf;
+* a **merge** absorbs the bucket stored at the parent's own label into
+  the bucket stored at the parent's name, transferring exactly one
+  bucket.
+
+Typical use::
+
+    from repro import LocalDht, MLightIndex, IndexConfig, Region
+
+    index = MLightIndex(LocalDht(128), IndexConfig(dims=2, max_depth=28))
+    index.insert((0.2, 0.4), "concert")
+    hits = index.range_query(Region((0.1, 0.3), (0.3, 0.5))).records
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from repro.common.config import IndexConfig
+from repro.common.errors import IndexCorruptionError
+from repro.common.geometry import Point, Region, check_point
+from repro.common.labels import (
+    parent,
+    root_label,
+    sibling,
+    virtual_root,
+)
+from repro.core.bucket import LeafBucket
+from repro.core.keys import bucket_key, name_from_key
+from repro.core.knn import KnnEngine, KnnResult
+from repro.core.lookup import LookupResult, lookup_point
+from repro.core.naming import naming_function
+from repro.core.rangequery import RangeQueryEngine, RangeQueryResult
+from repro.core.records import Record
+from repro.core.split import (
+    DataAwareSplit,
+    SplitPlan,
+    SplitStrategy,
+    ThresholdSplit,
+)
+from repro.dht.api import Dht
+
+
+class MLightIndex:
+    """Multi-dimensional Lightweight Hash Tree over a DHT."""
+
+    def __init__(
+        self,
+        dht: Dht,
+        config: IndexConfig | None = None,
+        strategy: SplitStrategy | None = None,
+    ) -> None:
+        self._dht = dht
+        self._config = config if config is not None else IndexConfig()
+        if strategy is None:
+            strategy = ThresholdSplit(
+                self._config.split_threshold, self._config.merge_threshold
+            )
+        self._strategy = strategy
+        self._range_engine = RangeQueryEngine(
+            dht, self._config.dims, self._config.max_depth
+        )
+        self._knn_engine = KnnEngine(
+            dht, self._config.dims, self._config.max_depth
+        )
+        self._bootstrap()
+
+    @classmethod
+    def with_data_aware_splitting(
+        cls, dht: Dht, config: IndexConfig | None = None
+    ) -> "MLightIndex":
+        """Construct with the paper's data-aware strategy (Section 4.2)."""
+        config = config if config is not None else IndexConfig()
+        return cls(dht, config, DataAwareSplit(config.expected_load))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Data dimensionality m."""
+        return self._config.dims
+
+    @property
+    def max_depth(self) -> int:
+        """The globally known maximum tree depth D (Section 5)."""
+        return self._config.max_depth
+
+    @property
+    def config(self) -> IndexConfig:
+        """The index configuration."""
+        return self._config
+
+    @property
+    def dht(self) -> Dht:
+        """The underlying DHT (its ``stats`` carry the paper's costs)."""
+        return self._dht
+
+    @property
+    def strategy(self) -> SplitStrategy:
+        """The active split strategy."""
+        return self._strategy
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def lookup(self, point: Point) -> LookupResult:
+        """Locate the leaf bucket covering *point* (Section 5)."""
+        return lookup_point(
+            self._dht, point, self.dims, self.max_depth
+        )
+
+    def exact_match(self, point: Point) -> list[Record]:
+        """All records whose key equals *point* exactly."""
+        point = check_point(point, self.dims)
+        bucket = self.lookup(point).bucket
+        return [record for record in bucket.records if record.key == point]
+
+    def insert(self, key, value: Any = None) -> LookupResult:
+        """Insert a record; returns the lookup that placed it.
+
+        Cost: the lookup probes, one record of movement to the leaf's
+        peer, plus whatever the split strategy triggers.
+        """
+        record = Record.make(key, value, dims=self.dims)
+        result = self.lookup(record.key)
+        bucket = result.bucket
+        bucket.add(record)
+        self._dht.stats.records_moved += 1
+        self._dht.rewrite_local(self._key_of(bucket), bucket)
+        plan = self._strategy.plan_split(
+            bucket.label, bucket.records, self.dims, self.max_depth
+        )
+        if plan is not None:
+            self._apply_split(plan)
+        return result
+
+    def insert_many(self, items: Iterable) -> int:
+        """Insert (key, value) pairs or bare keys; returns the count."""
+        count = 0
+        for item in items:
+            if isinstance(item, Record):
+                self.insert(item.key, item.value)
+            elif (
+                isinstance(item, tuple)
+                and len(item) == 2
+                and isinstance(item[0], (tuple, list))
+            ):
+                self.insert(item[0], item[1])
+            else:
+                self.insert(item)
+            count += 1
+        return count
+
+    def delete(self, key, value: Any = None) -> bool:
+        """Delete one record matching *key* (and *value*, when given).
+
+        Returns False when no such record exists.  A successful delete
+        may trigger cascading sibling merges.
+        """
+        point = check_point(tuple(key), self.dims)
+        bucket = self.lookup(point).bucket
+        victim = None
+        for record in bucket.records:
+            if record.key == point and (value is None or record.value == value):
+                victim = record
+                break
+        if victim is None:
+            return False
+        bucket.remove(victim)
+        self._dht.rewrite_local(self._key_of(bucket), bucket)
+        self._maybe_merge(bucket)
+        return True
+
+    def range_query(
+        self, query: Region, lookahead: int = 1
+    ) -> RangeQueryResult:
+        """All records in the closed region *query* (Section 6).
+
+        ``lookahead=1`` runs the basic algorithm; 2 or 4 run the
+        parallel variants evaluated in Fig. 7.
+        """
+        return self._range_engine.query(query, lookahead)
+
+    def knn(self, point: Point, k: int) -> KnnResult:
+        """The *k* records nearest to *point* (exact, Euclidean).
+
+        A similarity-query extension built on the paper's range
+        primitive; see :mod:`repro.core.knn`.
+        """
+        return self._knn_engine.query(point, k)
+
+    # ------------------------------------------------------------------
+    # Oracle access (metrics and tests; never on the query path)
+    # ------------------------------------------------------------------
+
+    def buckets(self) -> Iterator[LeafBucket]:
+        """Iterate every leaf bucket in the index (zero metered cost)."""
+        for dht_key, value in self._dht.items():
+            if isinstance(value, LeafBucket) and dht_key.startswith("ml:"):
+                yield value
+
+    def tree_size(self) -> int:
+        """Number of leaf buckets (== number of internal nodes)."""
+        return sum(1 for _ in self.buckets())
+
+    def total_records(self) -> int:
+        """Records stored across all buckets."""
+        return sum(bucket.load for bucket in self.buckets())
+
+    def check_invariants(self) -> None:
+        """Verify the structural invariants; raises on violation.
+
+        Checks the leaf set tiles the space (labels are prefix-free and
+        complete), every bucket sits under its own name's key, and every
+        record lies in its leaf's cell.
+        """
+        labels = {}
+        for dht_key, value in self._dht.items():
+            if not (isinstance(value, LeafBucket) and dht_key.startswith("ml:")):
+                continue
+            name = name_from_key(dht_key)
+            expected = naming_function(value.label, self.dims)
+            if expected != name:
+                raise IndexCorruptionError(
+                    f"bucket {value.label!r} stored at {name!r}, "
+                    f"expected {expected!r}"
+                )
+            labels[value.label] = value
+        if not labels:
+            raise IndexCorruptionError("index has no buckets at all")
+        for label, bucket in labels.items():
+            for other in labels:
+                if other != label and other.startswith(label):
+                    raise IndexCorruptionError(
+                        f"leaves {label!r} and {other!r} overlap"
+                    )
+            region = bucket.region
+            for record in bucket.records:
+                if not region.contains_point(record.key):
+                    raise IndexCorruptionError(
+                        f"record {record.key} outside leaf {label!r}"
+                    )
+        # Completeness: the sibling of every non-root leaf's ancestors
+        # must be covered by some leaf (prefix of or extending it).
+        for label in labels:
+            probe = label
+            while probe != root_label(self.dims):
+                sib = sibling(probe, self.dims)
+                covered = any(
+                    other.startswith(sib) or sib.startswith(other)
+                    for other in labels
+                )
+                if not covered:
+                    raise IndexCorruptionError(
+                        f"no leaf covers branch node {sib!r}"
+                    )
+                probe = parent(probe, self.dims)
+
+    # ------------------------------------------------------------------
+    # Maintenance internals
+    # ------------------------------------------------------------------
+
+    def _key_of(self, bucket: LeafBucket) -> str:
+        return bucket_key(naming_function(bucket.label, self.dims))
+
+    def _bootstrap(self) -> None:
+        """Create the root bucket unless the DHT already carries one."""
+        root_key = bucket_key(virtual_root(self.dims))
+        if self._dht.peek(root_key) is not None:
+            return
+        root = LeafBucket(root_label(self.dims), self.dims)
+        self._dht.put(root_key, root)
+
+    def _apply_split(self, plan: SplitPlan) -> None:
+        """Apply a split plan with incremental maintenance (Theorem 5).
+
+        Exactly one plan leaf is named ``fmd(origin)`` — it replaces the
+        old bucket under the *same key* at zero cost; every other leaf
+        (including empty ones, which the bijection requires) is routed
+        to its own name with its records as movement.
+        """
+        origin_name = naming_function(plan.origin, self.dims)
+        survivor: tuple[str, tuple[Record, ...]] | None = None
+        for label, records in plan.leaves:
+            name = naming_function(label, self.dims)
+            if name == origin_name:
+                if survivor is not None:
+                    raise IndexCorruptionError(
+                        f"two plan leaves named {origin_name!r}; the "
+                        "bijection is broken"
+                    )
+                survivor = (label, records)
+                continue
+            self._dht.put(
+                bucket_key(name),
+                LeafBucket(label, self.dims, list(records)),
+                records_moved=len(records),
+            )
+        if survivor is None:
+            raise IndexCorruptionError(
+                f"no plan leaf keeps name {origin_name!r}; the "
+                "bijection is broken"
+            )
+        label, records = survivor
+        self._dht.rewrite_local(
+            bucket_key(origin_name),
+            LeafBucket(label, self.dims, list(records)),
+        )
+
+    def _maybe_merge(self, bucket: LeafBucket) -> None:
+        """Cascade sibling merges upward while the strategy approves.
+
+        The sibling pair under parent p occupies DHT keys ``fmd(p)``
+        and ``p`` (Theorem 5), so one get inspects the sibling; a merge
+        removes the bucket at key ``p`` (one bucket transferred) and
+        rewrites the one at ``fmd(p)`` in place.
+        """
+        while bucket.label != root_label(self.dims):
+            parent_label = parent(bucket.label, self.dims)
+            sibling_label = sibling(bucket.label, self.dims)
+            parent_name = naming_function(parent_label, self.dims)
+            own_name = naming_function(bucket.label, self.dims)
+            other_name = parent_label if own_name == parent_name else parent_name
+            other = self._dht.get(bucket_key(other_name))
+            if other is None:
+                raise IndexCorruptionError(
+                    f"missing bucket at {other_name!r} while probing the "
+                    f"sibling of {bucket.label!r}"
+                )
+            if other.label != sibling_label:
+                return  # the sibling is an internal node; nothing to merge
+            if not self._strategy.should_merge(bucket.load, other.load):
+                return
+            moved = other if other_name == parent_label else bucket
+            merged = LeafBucket(
+                parent_label,
+                self.dims,
+                list(bucket.records) + list(other.records),
+            )
+            self._dht.remove(
+                bucket_key(parent_label), records_moved=moved.load
+            )
+            self._dht.rewrite_local(bucket_key(parent_name), merged)
+            bucket = merged

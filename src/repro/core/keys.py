@@ -1,0 +1,22 @@
+"""DHT key namespace for m-LIGHT buckets.
+
+A bucket named ``fmd(λ)`` is stored under ``"ml:" + fmd(λ)``.  The
+prefix keeps m-LIGHT keys disjoint from any other index sharing the
+same DHT (the paper deploys over OpenDHT-style shared substrates).
+"""
+
+from __future__ import annotations
+
+_PREFIX = "ml:"
+
+
+def bucket_key(name: str) -> str:
+    """DHT key for the bucket named *name* (an internal-node label)."""
+    return _PREFIX + name
+
+
+def name_from_key(key: str) -> str:
+    """Inverse of :func:`bucket_key`."""
+    if not key.startswith(_PREFIX):
+        raise ValueError(f"{key!r} is not an m-LIGHT bucket key")
+    return key[len(_PREFIX):]

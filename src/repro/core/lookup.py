@@ -1,0 +1,99 @@
+"""The m-LIGHT lookup operation (Section 5).
+
+Given a data key δ, return the leaf bucket covering δ.  The candidate
+labels are the prefixes (length ``m+1`` to ``m+1+D``) of the root label
+followed by the interleaved binary expansion of δ; the engine binary
+searches this candidate set, spending one DHT-get per probe.
+
+Probe outcomes and how they cut the search interval — each is a
+consequence of the naming function's structure (see the worked example
+for ``<0.3, 0.9>`` in the paper):
+
+* **miss** (no bucket at ``fmd(c_mid)``): then ``fmd(c_mid)`` is not an
+  internal node, so the target leaf is no longer than it — the upper
+  bound drops to ``len(fmd(c_mid))``, strictly below ``mid``.
+* **hit, covering**: done.
+* **hit, not covering**: ``fmd(c_mid)`` is internal (a leaf is named to
+  it), so the target is strictly deeper; moreover *every* candidate in
+  the contiguous run named to ``fmd(c_mid)`` is ruled out at once
+  (the probed bucket is the only leaf with that name), so the lower
+  bound jumps past the run's end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import IndexCorruptionError
+from repro.common.geometry import Point, check_point
+from repro.common.labels import candidate_string
+from repro.core.bucket import LeafBucket
+from repro.core.keys import bucket_key
+from repro.core.naming import name_run_end, naming_function
+from repro.dht.api import Dht
+
+
+@dataclass(frozen=True, slots=True)
+class LookupResult:
+    """Outcome of one lookup: the covering bucket plus its cost."""
+
+    bucket: LeafBucket
+    lookups: int
+    rounds: int
+
+
+def lookup_point(
+    dht: Dht,
+    point: Point,
+    dims: int,
+    max_depth: int,
+    *,
+    min_label_length: int | None = None,
+    max_label_length: int | None = None,
+) -> LookupResult:
+    """Binary-search lookup of the leaf bucket covering *point*.
+
+    *min_label_length* / *max_label_length* optionally tighten the
+    initial bounds — range-query fallbacks use them when they already
+    know the target leaf lies strictly between a node that exists and a
+    speculative label that does not.
+    """
+    point = check_point(point, dims)
+    candidate = candidate_string(point, max_depth)
+    low = dims + 1
+    high = len(candidate)
+    if min_label_length is not None:
+        low = max(low, min_label_length)
+    if max_label_length is not None:
+        high = min(high, max_label_length)
+    probes = 0
+
+    while low <= high:
+        mid = (low + high) // 2
+        name = naming_function(candidate[:mid], dims)
+        probes += 1
+        bucket = dht.get(bucket_key(name))
+        if bucket is None:
+            # fmd(c_mid) is not internal: target length <= len(name).
+            if len(name) < low:
+                raise IndexCorruptionError(
+                    f"lookup of {point}: miss at {name!r} contradicts "
+                    f"lower bound {low}"
+                )
+            high = len(name)
+        elif bucket.covers(point):
+            return LookupResult(bucket, probes, probes)
+        else:
+            # fmd(c_mid) is internal and its one named leaf is not the
+            # target: skip the whole candidate run named to it.
+            new_low = name_run_end(candidate, len(name), dims) + 1
+            if new_low <= low:
+                raise IndexCorruptionError(
+                    f"lookup of {point}: no progress at name {name!r}"
+                )
+            low = new_low
+
+    raise IndexCorruptionError(
+        f"lookup of {point} exhausted candidates; index tree is "
+        "inconsistent or max_depth is smaller than the real tree depth"
+    )

@@ -1,0 +1,247 @@
+"""Range query processing over the m-LIGHT index (Section 6).
+
+The engine implements Algorithms 2 and 3 plus the parallel variant:
+
+1. Locally compute the LCA — the deepest label whose cell resolves the
+   query — and probe ``fmd(LCA)``.  By corner preservation (Theorem 1)
+   that probe reaches a corner-cell leaf of the LCA's region.
+2. From a corner leaf λ inside a target node β, the leaf's label alone
+   reconstructs the local tree; every *branch node* between λ and β
+   whose region overlaps the query receives the clipped subquery.  The
+   branch regions tile β minus λ, so subqueries are disjoint: no bucket
+   is visited twice and subqueries proceed in parallel (one round per
+   recursion level).
+3. The parallel variant (lookahead ``h`` ∈ {2, 4, …}) forwards ``h``
+   subqueries per branch node per step: it speculatively descends the
+   globally-known space partition ``log2(h)`` extra levels and probes
+   the whole frontier in one round — trading bandwidth for latency,
+   exactly the Fig. 7 trade-off.
+
+Probe-outcome case analysis (each case is forced by the naming
+function's run structure; see ``tests/test_rangequery.py``):
+
+* the returned leaf is a *descendant* of the target β → a corner cell;
+  recurse through branch nodes.
+* the returned leaf is an *ancestor-or-self* of β → it covers the whole
+  subquery; collect and stop.
+* no bucket → β lies strictly below some leaf; a point lookup inside
+  the subquery finds that leaf, which covers the whole subquery.
+* an unrelated leaf is impossible: every leaf named ``fmd(β)`` lies on
+  the unique forced-bit run through β, hence is prefix-comparable
+  with β.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import IndexCorruptionError, InvalidRegionError
+from repro.common.geometry import (
+    Region,
+    cell_resolves_query,
+    clip,
+    region_of_label,
+)
+from repro.common.labels import (
+    branch_nodes_between,
+    label_depth,
+    root_label,
+)
+from repro.core.bucket import LeafBucket
+from repro.core.keys import bucket_key
+from repro.core.lookup import lookup_point
+from repro.core.naming import naming_function
+from repro.core.records import Record
+from repro.dht.api import Dht
+
+
+@dataclass(slots=True)
+class RangeQueryResult:
+    """Records matching a range query, plus the paper's two costs."""
+
+    records: list[Record] = field(default_factory=list)
+    lookups: int = 0
+    rounds: int = 0
+    visited_leaves: set[str] = field(default_factory=set)
+
+
+@dataclass(frozen=True, slots=True)
+class _Task:
+    """One pending subquery: probe *target*'s name for *subquery*.
+
+    ``anchor`` is the deepest label known (or assumed) to exist above
+    the target; targets produced by speculative expansion keep their
+    pre-expansion anchor so a missing probe can bound its fallback
+    search to ``(len(anchor), len(target))``.
+    """
+
+    target: str
+    subquery: Region
+    anchor: str
+
+
+def compute_lca(query: Region, dims: int, max_depth: int) -> str:
+    """Deepest label whose cell resolves *query* (all matches inside).
+
+    Computed locally by the query initiator — space partitioning is
+    data independent, so no communication is needed (Section 6).
+    """
+    label = root_label(dims)
+    while label_depth(label, dims) < max_depth:
+        for child in (label + "0", label + "1"):
+            if cell_resolves_query(region_of_label(child, dims), query):
+                label = child
+                break
+        else:
+            break
+    return label
+
+
+class RangeQueryEngine:
+    """Executes range queries; one instance per (dht, geometry)."""
+
+    def __init__(self, dht: Dht, dims: int, max_depth: int) -> None:
+        self._dht = dht
+        self._dims = dims
+        self._max_depth = max_depth
+
+    def query(self, query: Region, lookahead: int = 1) -> RangeQueryResult:
+        """Return every record matching the closed region *query*.
+
+        ``lookahead=1`` is the basic algorithm; powers of two >= 2
+        select the parallel variant with that many subqueries per
+        branch node per step.
+        """
+        if query.dims != self._dims:
+            raise InvalidRegionError(
+                f"query has {query.dims} dims, index has {self._dims}"
+            )
+        if lookahead < 1 or lookahead & (lookahead - 1):
+            raise InvalidRegionError(
+                f"lookahead must be a power of two >= 1, got {lookahead}"
+            )
+        levels = lookahead.bit_length() - 1
+        result = RangeQueryResult()
+        lca = compute_lca(query, self._dims, self._max_depth)
+        tasks = [_Task(lca, query, root_label(self._dims))]
+        round_number = 0
+        while tasks:
+            round_number += 1
+            result.rounds = max(result.rounds, round_number)
+            next_tasks: list[_Task] = []
+            for task in tasks:
+                for frontier_task in self._expand(task, levels):
+                    self._probe(
+                        frontier_task, query, round_number, result, next_tasks
+                    )
+            tasks = next_tasks
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _expand(self, task: _Task, levels: int) -> list[_Task]:
+        """Speculative frontier of *task* ``levels`` deeper (parallel
+        variant); the frontier cells tile the target cell, so coverage
+        is preserved.  ``levels == 0`` returns the task unchanged."""
+        frontier = [task]
+        for _ in range(levels):
+            deeper: list[_Task] = []
+            for item in frontier:
+                if label_depth(item.target, self._dims) >= self._max_depth:
+                    deeper.append(item)
+                    continue
+                for child in (item.target + "0", item.target + "1"):
+                    clipped = clip(
+                        item.subquery, region_of_label(child, self._dims)
+                    )
+                    if clipped is not None:
+                        deeper.append(_Task(child, clipped, item.anchor))
+            frontier = deeper
+        return frontier
+
+    def _probe(
+        self,
+        task: _Task,
+        query: Region,
+        round_number: int,
+        result: RangeQueryResult,
+        next_tasks: list[_Task],
+    ) -> None:
+        """Issue one DHT-get for *task* and dispatch on the outcome."""
+        name = naming_function(task.target, self._dims)
+        result.lookups += 1
+        bucket = self._dht.get(bucket_key(name))
+
+        if bucket is None:
+            # The target lies strictly below a leaf; find that leaf by a
+            # point lookup inside the subquery (Algorithm 2's fallback).
+            self._fallback_lookup(task, query, round_number, result)
+            return
+
+        label = bucket.label
+        if task.target.startswith(label):
+            # Ancestor-or-self: this one leaf covers the whole subquery.
+            self._collect(bucket, query, result)
+            return
+        if label.startswith(task.target):
+            # Corner-cell leaf inside the target: collect it, then
+            # forward the clipped subquery to each overlapping branch
+            # node between the leaf and the target (Algorithm 3).
+            self._collect(bucket, query, result)
+            for branch in branch_nodes_between(
+                label, task.target, self._dims
+            ):
+                clipped = clip(
+                    task.subquery, region_of_label(branch, self._dims)
+                )
+                if clipped is not None:
+                    next_tasks.append(_Task(branch, clipped, branch))
+            return
+        raise IndexCorruptionError(
+            f"leaf {label!r} named {name!r} is not prefix-comparable "
+            f"with target {task.target!r}; the naming invariant is broken"
+        )
+
+    def _fallback_lookup(
+        self,
+        task: _Task,
+        query: Region,
+        round_number: int,
+        result: RangeQueryResult,
+    ) -> None:
+        """Point lookup for a missing target.
+
+        The covering leaf is a proper ancestor of the target and (when
+        the target came from speculative expansion below a node known
+        to exist) lies strictly below the task's anchor, so the search
+        interval is at most the expansion depth — usually one probe.
+        """
+        probe_point = task.subquery.lows
+        min_length = None
+        if task.target.startswith(task.anchor) and task.target != task.anchor:
+            # The anchor exists (it may itself be the covering leaf),
+            # so the target's covering leaf is no shorter than it.
+            min_length = len(task.anchor)
+        found = lookup_point(
+            self._dht,
+            probe_point,
+            self._dims,
+            self._max_depth,
+            min_label_length=min_length,
+            max_label_length=len(task.target) - 1,
+        )
+        result.lookups += found.lookups
+        result.rounds = max(result.rounds, round_number + found.rounds)
+        self._collect(found.bucket, query, result)
+
+    def _collect(
+        self, bucket: LeafBucket, query: Region, result: RangeQueryResult
+    ) -> None:
+        """Add *bucket*'s matching records once (leaves are disjoint, so
+        per-leaf dedup makes the result set exact)."""
+        if bucket.label in result.visited_leaves:
+            return
+        result.visited_leaves.add(bucket.label)
+        result.records.extend(bucket.matching(query))

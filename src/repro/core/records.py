@@ -1,0 +1,34 @@
+"""Data records.
+
+A record is an m-dimensional data key plus an opaque value, matching
+the paper's model (Section 3.1): keys are vectors of reals normalised
+into the unit interval per dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.geometry import Point, check_point
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """One data record: an m-dimensional key and its payload."""
+
+    key: Point
+    value: Any = None
+
+    @classmethod
+    def make(cls, key, value: Any = None, dims: int | None = None) -> "Record":
+        """Validated constructor; checks arity/range when *dims* given."""
+        key = tuple(key)
+        if dims is not None:
+            check_point(key, dims)
+        return cls(key, value)
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the data key."""
+        return len(self.key)

@@ -1,0 +1,31 @@
+"""Dataset generators and loaders.
+
+The paper evaluates on 123,593 postal addresses from the New York /
+Philadelphia / Boston metropolitan areas (the rtreeportal NE dataset),
+normalised per-dimension into [0, 1].  That file is not redistributable
+and the reproduction environment is offline, so
+:func:`~repro.datasets.northeast.northeast_surrogate` generates a
+synthetic surrogate with the same cardinality and the same *kind* of
+skew — three anisotropic metropolitan clusters with dense cores,
+suburban satellites and sparse background — which is what drives every
+load-balance and maintenance effect the paper measures.
+:func:`~repro.datasets.loader.load_points` ingests the real file when
+available.
+"""
+
+from repro.datasets.synthetic import (
+    uniform_points,
+    clustered_points,
+    skewed_points,
+    normalize_points,
+)
+from repro.datasets.northeast import northeast_surrogate, NE_CARDINALITY
+
+__all__ = [
+    "uniform_points",
+    "clustered_points",
+    "skewed_points",
+    "normalize_points",
+    "northeast_surrogate",
+    "NE_CARDINALITY",
+]

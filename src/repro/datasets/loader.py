@@ -1,0 +1,55 @@
+"""Loading real point datasets from disk.
+
+If you have the original NE file (``NE.zip`` from rtreeportal), unzip
+it and point :func:`load_points` at the text file; every experiment
+runner accepts the returned list in place of the surrogate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.common.errors import ReproError
+from repro.common.geometry import Point
+from repro.datasets.synthetic import normalize_points
+
+
+def load_points(
+    path: str | Path,
+    dims: int = 2,
+    delimiter: str | None = None,
+    normalize: bool = True,
+) -> list[Point]:
+    """Read one point per line (whitespace- or *delimiter*-separated).
+
+    Lines that are empty or start with ``#`` are skipped.  Extra
+    columns beyond *dims* are ignored (several rtreeportal files carry
+    an id column first — when a line has ``dims + 1`` columns the first
+    is treated as an id and dropped).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"dataset file {path} does not exist")
+    raw: list[tuple[float, ...]] = []
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split(delimiter)
+            if len(fields) == dims + 1:
+                fields = fields[1:]
+            if len(fields) < dims:
+                raise ReproError(
+                    f"{path}:{line_number}: expected {dims} coordinates, "
+                    f"got {len(fields)}"
+                )
+            try:
+                raw.append(tuple(float(field) for field in fields[:dims]))
+            except ValueError as exc:
+                raise ReproError(
+                    f"{path}:{line_number}: non-numeric coordinate"
+                ) from exc
+    if normalize:
+        return normalize_points(raw)
+    return [tuple(point) for point in raw]

@@ -1,0 +1,117 @@
+"""Synthetic point generators.
+
+Every generator is deterministic under its seed and returns keys
+strictly inside [0, 1) per dimension, ready for insertion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.common.errors import ReproError
+from repro.common.geometry import Point
+from repro.common.rng import make_rng
+
+#: Keys are clamped strictly below 1.0 (cells are half-open).
+_UPPER = 1.0 - 2.0**-40
+
+
+def clamp_unit(value: float) -> float:
+    """Clamp *value* into [0, 1) (keys live in half-open cells)."""
+    if value < 0.0:
+        return 0.0
+    if value >= 1.0:
+        return _UPPER
+    return value
+
+
+# Internal alias used throughout this module.
+_clamp = clamp_unit
+
+
+def uniform_points(n: int, dims: int = 2, seed: int = 0) -> list[Point]:
+    """*n* points uniform over the unit hypercube."""
+    if n < 0:
+        raise ReproError(f"n must be >= 0, got {n}")
+    rng = make_rng(seed)
+    return [
+        tuple(rng.random() for _ in range(dims)) for _ in range(n)
+    ]
+
+
+def clustered_points(
+    n: int,
+    centers: Sequence[Point],
+    sigmas: Sequence[Sequence[float]],
+    weights: Sequence[float] | None = None,
+    background_fraction: float = 0.0,
+    dims: int = 2,
+    seed: int = 0,
+) -> list[Point]:
+    """A Gaussian mixture: per-cluster centre, per-axis sigma, weight.
+
+    *background_fraction* of the points are uniform noise.  Samples are
+    clamped into [0, 1).
+    """
+    if not centers:
+        raise ReproError("at least one cluster centre is required")
+    if len(sigmas) != len(centers):
+        raise ReproError("sigmas and centers must have the same length")
+    if weights is None:
+        weights = [1.0] * len(centers)
+    if len(weights) != len(centers):
+        raise ReproError("weights and centers must have the same length")
+    if not 0.0 <= background_fraction <= 1.0:
+        raise ReproError("background_fraction must be in [0, 1]")
+    rng = make_rng(seed)
+    points: list[Point] = []
+    for _ in range(n):
+        if rng.random() < background_fraction:
+            points.append(tuple(rng.random() for _ in range(dims)))
+            continue
+        index = rng.choices(range(len(centers)), weights=weights, k=1)[0]
+        center = centers[index]
+        sigma = sigmas[index]
+        points.append(
+            tuple(
+                _clamp(rng.gauss(center[dim], sigma[dim]))
+                for dim in range(dims)
+            )
+        )
+    return points
+
+
+def skewed_points(
+    n: int, dims: int = 2, exponent: float = 3.0, seed: int = 0
+) -> list[Point]:
+    """Power-law skew toward the origin: each coordinate is
+    ``u ** exponent`` for uniform u.  Useful for stress-testing split
+    strategies on heavy one-sided skew."""
+    if exponent <= 0:
+        raise ReproError(f"exponent must be positive, got {exponent}")
+    rng = make_rng(seed)
+    return [
+        tuple(_clamp(rng.random() ** exponent) for _ in range(dims))
+        for _ in range(n)
+    ]
+
+
+def normalize_points(raw: Sequence[Sequence[float]]) -> list[Point]:
+    """Min-max normalise arbitrary coordinates into [0, 1) per dimension,
+    as the paper does with the postal addresses."""
+    if not raw:
+        return []
+    dims = len(raw[0])
+    lows = [min(point[dim] for point in raw) for dim in range(dims)]
+    highs = [max(point[dim] for point in raw) for dim in range(dims)]
+    spans = [
+        high - low if high > low else 1.0
+        for low, high in zip(lows, highs)
+    ]
+    return [
+        tuple(
+            _clamp((point[dim] - lows[dim]) / spans[dim] * _UPPER)
+            for dim in range(dims)
+        )
+        for point in raw
+    ]

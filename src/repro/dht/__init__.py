@@ -1,0 +1,36 @@
+"""DHT substrates.
+
+Everything above this package consumes only the generic
+``put/get/remove/lookup`` facade of :class:`repro.dht.api.Dht` — the
+defining constraint of the over-DHT indexing paradigm.  Three
+interchangeable substrates are provided:
+
+* :class:`repro.dht.localhash.LocalDht` — an O(1) consistent-hashing
+  oracle.  It meters exactly the same index-level costs as the routed
+  overlays (the paper's metrics count DHT operations, not hops), so the
+  figure reproductions use it for speed.
+* :class:`repro.dht.chord.ChordDht` — a full Chord ring with finger
+  tables, successor lists, stabilization and churn.
+* :class:`repro.dht.kademlia.KademliaDht` — an XOR-metric overlay with
+  k-buckets and iterative lookup, demonstrating substrate independence.
+* :class:`repro.dht.pastry.PastryDht` — prefix routing with leaf sets,
+  the closest cousin of Bamboo (the paper's actual substrate).
+"""
+
+from repro.dht.api import Dht, DhtStats
+from repro.dht.hashing import key_digest, ring_between
+from repro.dht.localhash import LocalDht
+from repro.dht.chord import ChordDht
+from repro.dht.kademlia import KademliaDht
+from repro.dht.pastry import PastryDht
+
+__all__ = [
+    "Dht",
+    "DhtStats",
+    "key_digest",
+    "ring_between",
+    "LocalDht",
+    "ChordDht",
+    "KademliaDht",
+    "PastryDht",
+]

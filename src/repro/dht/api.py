@@ -1,0 +1,172 @@
+"""The generic DHT facade every index runs over.
+
+The paper's cost model (Section 7) counts, per index operation:
+
+* **DHT-lookup cost** — how many times the index layer asked the DHT to
+  locate the peer responsible for a key.  A ``put``/``get``/``remove``
+  embeds one DHT-lookup each, so the facade meters them uniformly.
+* **Data-movement cost** — how many data records crossed the network.
+  Only the index layer knows how many records a stored object carries,
+  so write operations take an explicit ``records_moved`` argument.
+
+The facade also exposes :meth:`Dht.rewrite_local`: replacing the value
+at a key *already resolved and owned* costs neither a DHT-lookup nor a
+transfer.  This is exactly the operation behind m-LIGHT's incremental
+split (Theorem 5): the surviving child keeps the dead bucket's key.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import DhtKeyError
+
+#: Rough wire size of one record and of an object envelope, used only
+#: for network-level byte accounting (the paper's metrics count records
+#: and lookups; bytes validate the network layer, nothing else).
+RECORD_WIRE_BYTES = 32
+ENVELOPE_WIRE_BYTES = 16
+
+
+def estimate_wire_size(value: Any) -> int:
+    """Approximate bytes a stored object occupies on the wire."""
+    records = getattr(value, "records", None)
+    if isinstance(records, list):
+        return ENVELOPE_WIRE_BYTES + RECORD_WIRE_BYTES * len(records)
+    return ENVELOPE_WIRE_BYTES
+
+
+@dataclass(slots=True)
+class DhtStats:
+    """Index-level cost counters, shared by all substrates."""
+
+    lookups: int = 0
+    gets: int = 0
+    puts: int = 0
+    removes: int = 0
+    records_moved: int = 0
+    hops: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Immutable copy of all counters."""
+        return {
+            "lookups": self.lookups,
+            "gets": self.gets,
+            "puts": self.puts,
+            "removes": self.removes,
+            "records_moved": self.records_moved,
+            "hops": self.hops,
+        }
+
+    def reset(self) -> None:
+        """Zero all counters (between experiment phases)."""
+        self.lookups = 0
+        self.gets = 0
+        self.puts = 0
+        self.removes = 0
+        self.records_moved = 0
+        self.hops = 0
+
+
+class Dht(ABC):
+    """Abstract ``put/get/remove/lookup`` interface plus metering.
+
+    Concrete substrates implement the five ``_do_*`` primitives; the
+    public methods handle accounting so that every substrate meters
+    identically.
+    """
+
+    def __init__(self) -> None:
+        self.stats = DhtStats()
+
+    # ------------------------------------------------------------------
+    # Public, metered operations
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: str) -> str:
+        """Locate the peer responsible for *key*; costs one DHT-lookup."""
+        self.stats.lookups += 1
+        return self._do_lookup(key)
+
+    def get(self, key: str) -> Any | None:
+        """Fetch the value at *key* (None when absent); one DHT-lookup."""
+        self.stats.lookups += 1
+        self.stats.gets += 1
+        return self._do_get(key)
+
+    def put(self, key: str, value: Any, *, records_moved: int = 0) -> None:
+        """Store *value* at *key*; one DHT-lookup plus *records_moved*
+        records of transfer."""
+        self.stats.lookups += 1
+        self.stats.puts += 1
+        self.stats.records_moved += records_moved
+        self._do_put(key, value)
+
+    def remove(self, key: str, *, records_moved: int = 0) -> Any:
+        """Delete and return the value at *key*; one DHT-lookup.
+
+        *records_moved* accounts records pulled back to the caller
+        (e.g. a bucket absorbed during a merge).  Raises
+        :class:`DhtKeyError` when the key is absent.
+        """
+        self.stats.lookups += 1
+        self.stats.removes += 1
+        self.stats.records_moved += records_moved
+        return self._do_remove(key)
+
+    def rewrite_local(self, key: str, value: Any) -> None:
+        """Replace the value at an existing key at zero metered cost.
+
+        Models a peer rewriting an object it already stores.  The key
+        must exist; raising otherwise catches index-layer bugs where a
+        "free" write would actually have required routing.
+        """
+        if not self._do_contains(key):
+            raise DhtKeyError(
+                f"rewrite_local of absent key {key!r}; a routed put is "
+                "required to create it"
+            )
+        self._do_put(key, value)
+
+    # ------------------------------------------------------------------
+    # Zero-cost oracle access (metrics, tests, debugging only)
+    # ------------------------------------------------------------------
+
+    def peek(self, key: str) -> Any | None:
+        """Read a key without metering.  Experiments must not use this
+        on query paths; it exists for invariant checks and metrics."""
+        return self._do_get(key)
+
+    @abstractmethod
+    def peer_of(self, key: str) -> str:
+        """Responsible peer for *key* without metering (oracle)."""
+
+    @abstractmethod
+    def peers(self) -> list[str]:
+        """All live peer addresses."""
+
+    @abstractmethod
+    def items(self) -> Iterator[tuple[str, Any]]:
+        """Iterate every (key, value) pair stored anywhere (oracle)."""
+
+    # ------------------------------------------------------------------
+    # Substrate primitives
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def _do_lookup(self, key: str) -> str: ...
+
+    @abstractmethod
+    def _do_get(self, key: str) -> Any | None: ...
+
+    @abstractmethod
+    def _do_put(self, key: str, value: Any) -> None: ...
+
+    @abstractmethod
+    def _do_remove(self, key: str) -> Any: ...
+
+    @abstractmethod
+    def _do_contains(self, key: str) -> bool: ...

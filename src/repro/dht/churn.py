@@ -1,0 +1,97 @@
+"""Churn generation for DHT robustness experiments.
+
+Produces a deterministic schedule of joins, graceful leaves, and
+crashes, and applies it to a :class:`~repro.dht.chord.ChordDht`
+interleaved with stabilization rounds.  Used by the churn example and
+by the DHT integration tests; the figure reproductions run on a stable
+membership, as the paper's evaluation does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ReproError
+from repro.common.rng import make_rng
+from repro.dht.chord import ChordDht
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnEvent:
+    """One membership change."""
+
+    kind: str  # "join" | "leave" | "fail"
+    peer: str
+
+
+@dataclass(slots=True)
+class ChurnReport:
+    """What a churn run did and what survived it."""
+
+    events: list[ChurnEvent] = field(default_factory=list)
+    keys_before: int = 0
+    keys_after: int = 0
+
+    @property
+    def survival_ratio(self) -> float:
+        """Fraction of stored keys still present after the churn run."""
+        if self.keys_before == 0:
+            return 1.0
+        return self.keys_after / self.keys_before
+
+
+def generate_schedule(
+    n_events: int,
+    join_weight: float = 1.0,
+    leave_weight: float = 1.0,
+    fail_weight: float = 0.0,
+    seed: int = 0,
+) -> list[str]:
+    """Return *n_events* event kinds drawn by the given weights."""
+    total = join_weight + leave_weight + fail_weight
+    if total <= 0:
+        raise ReproError("at least one churn weight must be positive")
+    rng = make_rng(seed)
+    kinds = ["join", "leave", "fail"]
+    weights = [join_weight, leave_weight, fail_weight]
+    return rng.choices(kinds, weights=weights, k=n_events)
+
+
+def run_churn(
+    dht: ChordDht,
+    n_events: int,
+    *,
+    join_weight: float = 1.0,
+    leave_weight: float = 1.0,
+    fail_weight: float = 0.0,
+    stabilize_rounds: int = 2,
+    min_peers: int = 4,
+    seed: int = 0,
+) -> ChurnReport:
+    """Apply a churn schedule to *dht*, stabilizing between events."""
+    rng = make_rng(seed + 1)
+    report = ChurnReport()
+    report.keys_before = sum(1 for _ in dht.items())
+    next_id = 100_000
+    for kind in generate_schedule(
+        n_events, join_weight, leave_weight, fail_weight, seed
+    ):
+        peers = dht.peers()
+        if kind == "join":
+            name = f"churn-{next_id}"
+            next_id += 1
+            dht.join(name, gateway=rng.choice(peers))
+        elif len(peers) > min_peers:
+            victim = rng.choice(peers)
+            if kind == "leave":
+                dht.leave(victim)
+            else:
+                dht.fail(victim)
+            name = victim
+        else:
+            continue
+        report.events.append(ChurnEvent(kind, name))
+        dht.stabilize_all(stabilize_rounds)
+    dht.stabilize_all(stabilize_rounds)
+    report.keys_after = sum(1 for _ in dht.items())
+    return report

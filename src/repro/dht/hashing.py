@@ -1,0 +1,56 @@
+"""Consistent hashing primitives shared by every DHT substrate.
+
+Keys and node identifiers live on the same 160-bit space (SHA-1, as in
+Chord and Bamboo).  The helpers below implement modular ring arithmetic
+without ever materialising big-integer intermediates beyond Python
+ints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Width of the identifier space in bits (SHA-1).
+ID_BITS = 160
+
+#: Size of the identifier space.
+ID_SPACE = 1 << ID_BITS
+
+
+def key_digest(key: str) -> int:
+    """Hash a DHT key to its 160-bit identifier."""
+    return int.from_bytes(hashlib.sha1(key.encode("utf-8")).digest(), "big")
+
+
+def node_id_from_name(name: str) -> int:
+    """Derive a node identifier from a peer name (deterministic)."""
+    return key_digest("node:" + name)
+
+
+def ring_between(value: int, left: int, right: int) -> bool:
+    """True when *value* lies in the open ring interval (left, right).
+
+    Wraps modulo the identifier space; the degenerate interval
+    ``left == right`` denotes the whole ring minus the endpoint, as in
+    the Chord paper.
+    """
+    if left < right:
+        return left < value < right
+    return value > left or value < right
+
+
+def ring_between_right_inclusive(value: int, left: int, right: int) -> bool:
+    """True when *value* lies in the ring interval (left, right]."""
+    if value == right:
+        return True
+    return ring_between(value, left, right)
+
+
+def ring_distance(start: int, end: int) -> int:
+    """Clockwise distance from *start* to *end* on the ring."""
+    return (end - start) % ID_SPACE
+
+
+def xor_distance(a: int, b: int) -> int:
+    """Kademlia's XOR metric."""
+    return a ^ b

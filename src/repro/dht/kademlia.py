@@ -1,0 +1,322 @@
+"""A Kademlia DHT over the simulated network.
+
+Implements the XOR-metric overlay of Maymounkov & Mazieres: 160-bit
+identifiers, per-prefix k-buckets, and iterative lookup with
+concurrency ``alpha``.  Storage is placed on the globally closest node
+(``k_store = 1``) so that ownership is a deterministic function of the
+key — which the index layers above require for exactness; classic
+redundant storage on the k closest is available through
+``replication``.
+
+Kademlia is here to demonstrate the substrate independence claimed by
+the paper ("m-LIGHT is adaptable to any DHT substrate"): the ablation
+benchmark swaps this overlay in under m-LIGHT and checks the
+index-level cost counters do not change.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator
+from typing import Any
+
+from repro.common.errors import DhtKeyError, ReproError
+from repro.dht.api import Dht, estimate_wire_size
+from repro.dht.hashing import key_digest, node_id_from_name, xor_distance
+from repro.dht.storage import PeerStore
+from repro.net.message import Message
+from repro.net.simnet import RpcError, SimNetwork
+
+#: k-bucket capacity.
+BUCKET_SIZE = 8
+
+#: Lookup concurrency (classic alpha).
+ALPHA = 3
+
+#: Identifier width.
+ID_BITS = 160
+
+
+class KademliaNode:
+    """One Kademlia peer: k-buckets, storage, RPC handlers."""
+
+    def __init__(self, name: str, network: SimNetwork) -> None:
+        self.name = name
+        self.ident = node_id_from_name(name)
+        self.network = network
+        self.store = PeerStore()
+        # buckets[i] holds contacts whose XOR distance has bit length i+1.
+        self.buckets: list[list[tuple[int, str]]] = [
+            [] for _ in range(ID_BITS)
+        ]
+        network.register(name, self)
+
+    # ------------------------------------------------------------------
+    # Routing table
+    # ------------------------------------------------------------------
+
+    def _bucket_index(self, ident: int) -> int:
+        distance = xor_distance(self.ident, ident)
+        if distance == 0:
+            raise ReproError("a node never stores itself in a bucket")
+        return distance.bit_length() - 1
+
+    def observe(self, ident: int, name: str) -> None:
+        """Record a live contact (move-to-front, capacity k)."""
+        if ident == self.ident:
+            return
+        bucket = self.buckets[self._bucket_index(ident)]
+        entry = (ident, name)
+        if entry in bucket:
+            bucket.remove(entry)
+            bucket.append(entry)
+            return
+        if len(bucket) < BUCKET_SIZE:
+            bucket.append(entry)
+            return
+        # Ping the least-recently seen contact; evict it if dead.
+        oldest_ident, oldest_name = bucket[0]
+        if self.network.is_registered(oldest_name):
+            return  # keep old, drop new (Kademlia's anti-churn bias)
+        bucket.pop(0)
+        bucket.append(entry)
+
+    def closest_contacts(self, ident: int, count: int) -> list[tuple[int, str]]:
+        """The *count* known contacts closest to *ident* (self included)."""
+        contacts = [(self.ident, self.name)]
+        for bucket in self.buckets:
+            contacts.extend(bucket)
+        contacts.sort(key=lambda pair: xor_distance(pair[0], ident))
+        return contacts[:count]
+
+    # ------------------------------------------------------------------
+    # RPC plumbing
+    # ------------------------------------------------------------------
+
+    def handle_rpc(self, message: Message) -> Any:
+        args, kwargs = message.payload
+        method = getattr(self, "rpc_" + message.msg_type, None)
+        if method is None:
+            raise RpcError(f"unknown RPC {message.msg_type!r}")
+        return method(*args, **kwargs)
+
+    def rpc_find_node(
+        self, ident: int, caller_ident: int, caller_name: str
+    ) -> list[tuple[int, str]]:
+        self.observe(caller_ident, caller_name)
+        return self.closest_contacts(ident, BUCKET_SIZE)
+
+    def rpc_store_put(self, key: str, value: Any) -> None:
+        self.store.put(key, value)
+
+    def rpc_store_get(self, key: str) -> Any | None:
+        return self.store.get(key)
+
+    def rpc_store_remove(self, key: str) -> Any:
+        return self.store.remove(key)
+
+    def rpc_store_contains(self, key: str) -> bool:
+        return key in self.store
+
+
+class KademliaDht(Dht):
+    """The :class:`~repro.dht.api.Dht` facade over a Kademlia overlay."""
+
+    def __init__(self, network: SimNetwork | None = None) -> None:
+        super().__init__()
+        self.network = network if network is not None else SimNetwork()
+        self._nodes: dict[str, KademliaNode] = {}
+
+    @classmethod
+    def build(
+        cls, n_peers: int, network: SimNetwork | None = None
+    ) -> "KademliaDht":
+        """Create *n_peers* and bootstrap their routing tables."""
+        if n_peers < 1:
+            raise ReproError(f"n_peers must be >= 1, got {n_peers}")
+        dht = cls(network)
+        for index in range(n_peers):
+            name = f"kad-{index:04d}"
+            dht._nodes[name] = KademliaNode(name, dht.network)
+        dht.bootstrap()
+        return dht
+
+    def bootstrap(self) -> None:
+        """Populate every node's buckets from global knowledge.
+
+        Equivalent to the steady state after every node has performed a
+        self-lookup against a connected network; done directly so large
+        rings construct quickly.
+        """
+        everyone = [(node.ident, node.name) for node in self._nodes.values()]
+        for node in self._nodes.values():
+            # Insert closest contacts first so full buckets keep the
+            # closest neighbours, which iterative lookup depends on.
+            for ident, name in sorted(
+                everyone, key=lambda pair: xor_distance(pair[0], node.ident)
+            ):
+                node.observe(ident, name)
+
+    def join(self, name: str, gateway: str | None = None) -> None:
+        """Protocol join: learn contacts via an iterative self-lookup."""
+        if name in self._nodes:
+            raise ReproError(f"peer {name!r} already joined")
+        node = KademliaNode(name, self.network)
+        self._nodes[name] = node
+        others = [n for n in self._nodes if n != name]
+        if not others:
+            return
+        gateway_name = gateway if gateway else min(others)
+        gateway_node = self._nodes[gateway_name]
+        node.observe(gateway_node.ident, gateway_node.name)
+        self._iterative_find(node, node.ident)
+        # Republish: pull keys this node is now closest to.
+        for other in list(self._nodes.values()):
+            if other is node:
+                continue
+            moved = other.store.pop_range(
+                lambda digest: xor_distance(digest, node.ident)
+                < xor_distance(digest, other.ident)
+            )
+            for key, value in moved:
+                node.store.put(key, value)
+
+    def fail(self, name: str) -> None:
+        """Abrupt crash."""
+        if name not in self._nodes:
+            raise ReproError(f"unknown peer {name!r}")
+        self.network.unregister(name)
+        del self._nodes[name]
+
+    # ------------------------------------------------------------------
+    # Iterative lookup
+    # ------------------------------------------------------------------
+
+    def _iterative_find(
+        self, start: KademliaNode, target: int
+    ) -> list[tuple[int, str]]:
+        """Classic iterative FIND_NODE; meters overlay hops."""
+        shortlist = start.closest_contacts(target, BUCKET_SIZE)
+        queried: set[int] = {start.ident}
+        improved = True
+        while improved:
+            improved = False
+            candidates = [
+                pair for pair in shortlist if pair[0] not in queried
+            ][:ALPHA]
+            for ident, name in candidates:
+                queried.add(ident)
+                try:
+                    learned = self.network.rpc(
+                        start.name,
+                        name,
+                        "find_node",
+                        target,
+                        start.ident,
+                        start.name,
+                    )
+                except RpcError:
+                    continue
+                self.stats.hops += 1
+                start.observe(ident, name)
+                for l_ident, l_name in learned:
+                    if l_ident != start.ident:
+                        start.observe(l_ident, l_name)
+                merged = {pair for pair in shortlist}
+                merged.update(
+                    (l_ident, l_name) for l_ident, l_name in learned
+                )
+                new_shortlist = heapq.nsmallest(
+                    BUCKET_SIZE,
+                    merged,
+                    key=lambda pair: xor_distance(pair[0], target),
+                )
+                if new_shortlist != shortlist:
+                    improved = True
+                shortlist = new_shortlist
+        return shortlist
+
+    # ------------------------------------------------------------------
+    # Oracle access
+    # ------------------------------------------------------------------
+
+    def peer_of(self, key: str) -> str:
+        digest = key_digest(key)
+        return min(
+            self._nodes.values(),
+            key=lambda node: xor_distance(node.ident, digest),
+        ).name
+
+    def peers(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        for node in self._nodes.values():
+            yield from node.store.items()
+
+    def node(self, name: str) -> KademliaNode:
+        """Direct peer access (tests only)."""
+        return self._nodes[name]
+
+    # ------------------------------------------------------------------
+    # Substrate primitives
+    # ------------------------------------------------------------------
+
+    def _gateway(self) -> KademliaNode:
+        if not self._nodes:
+            raise ReproError("the overlay has no peers")
+        return self._nodes[min(self._nodes)]
+
+    def _owner(self, key: str) -> KademliaNode:
+        digest = key_digest(key)
+        shortlist = self._iterative_find(self._gateway(), digest)
+        if not shortlist:
+            raise ReproError("iterative lookup returned no contacts")
+        _, owner_name = min(
+            shortlist, key=lambda pair: xor_distance(pair[0], digest)
+        )
+        return self._nodes[owner_name]
+
+    def _do_lookup(self, key: str) -> str:
+        return self._owner(key).name
+
+    def _do_get(self, key: str) -> Any | None:
+        owner = self._owner(key)
+        return self.network.rpc(
+            self._gateway().name, owner.name, "store_get", key
+        )
+
+    def _do_put(self, key: str, value: Any) -> None:
+        owner = self._owner(key)
+        self.network.rpc(
+            self._gateway().name, owner.name, "store_put", key, value,
+            size_bytes=estimate_wire_size(value),
+        )
+
+    def _do_remove(self, key: str) -> Any:
+        owner = self._owner(key)
+        if not self.network.rpc(
+            self._gateway().name, owner.name, "store_contains", key
+        ):
+            raise DhtKeyError(f"key {key!r} does not exist")
+        return self.network.rpc(
+            self._gateway().name, owner.name, "store_remove", key
+        )
+
+    def rewrite_local(self, key: str, value: Any) -> None:
+        """Zero-cost in-place rewrite by the peer holding the key (no
+        routing; see the over-DHT cost model in repro.dht.api)."""
+        for node in self._nodes.values():
+            if key in node.store:
+                node.store.put(key, value)
+                return
+        raise DhtKeyError(
+            f"rewrite_local of absent key {key!r}; a routed put is "
+            "required to create it"
+        )
+
+    def _do_contains(self, key: str) -> bool:
+        owner = self._owner(key)
+        return self.network.rpc(
+            self._gateway().name, owner.name, "store_contains", key
+        )

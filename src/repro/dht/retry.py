@@ -1,0 +1,114 @@
+"""Retry decoration for lossy substrates.
+
+The routed overlays raise :class:`~repro.net.simnet.RpcError` when a
+message is dropped or a peer is mid-churn.  Index layers stay oblivious
+(over-DHT layering), so resilience belongs here: ``RetryingDht`` wraps
+any :class:`~repro.dht.api.Dht` and retries failed primitives a bounded
+number of times.  Retried attempts are *metered* — a retry really does
+cost another DHT-lookup on the wire, and the meters are the experiment
+ground truth — and the retry counter is exposed for observability.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from repro.common.errors import NodeUnreachableError, ReproError
+from repro.dht.api import Dht
+
+
+class RetryingDht(Dht):
+    """Wrap *inner* so transient RPC failures are retried.
+
+    Only :class:`NodeUnreachableError` (and its subclass ``RpcError``)
+    triggers a retry; data errors such as ``DhtKeyError`` propagate
+    immediately.  After *attempts* consecutive failures the last error
+    propagates.
+    """
+
+    def __init__(self, inner: Dht, attempts: int = 3) -> None:
+        super().__init__()
+        if attempts < 1:
+            raise ReproError(f"attempts must be >= 1, got {attempts}")
+        self._inner = inner
+        self._attempts = attempts
+        self.retries = 0
+        # Share the inner stats object so every attempt is metered in
+        # one place and index layers keep reading the usual counters.
+        self.stats = inner.stats
+
+    @property
+    def inner(self) -> Dht:
+        """The wrapped substrate."""
+        return self._inner
+
+    def _with_retries(self, operation, *args, **kwargs):
+        last_error: Exception | None = None
+        for attempt in range(self._attempts):
+            try:
+                return operation(*args, **kwargs)
+            except NodeUnreachableError as error:
+                last_error = error
+                if attempt + 1 < self._attempts:
+                    self.retries += 1
+        assert last_error is not None
+        raise last_error
+
+    # ------------------------------------------------------------------
+    # Metered operations delegate (the inner facade meters each attempt)
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: str) -> str:
+        return self._with_retries(self._inner.lookup, key)
+
+    def get(self, key: str) -> Any | None:
+        return self._with_retries(self._inner.get, key)
+
+    def put(self, key: str, value: Any, *, records_moved: int = 0) -> None:
+        return self._with_retries(
+            self._inner.put, key, value, records_moved=records_moved
+        )
+
+    def remove(self, key: str, *, records_moved: int = 0) -> Any:
+        return self._with_retries(
+            self._inner.remove, key, records_moved=records_moved
+        )
+
+    def rewrite_local(self, key: str, value: Any) -> None:
+        # Local rewrites never cross the wire; no retry needed.
+        self._inner.rewrite_local(key, value)
+
+    # ------------------------------------------------------------------
+    # Oracle passthrough
+    # ------------------------------------------------------------------
+
+    def peek(self, key: str) -> Any | None:
+        return self._inner.peek(key)
+
+    def peer_of(self, key: str) -> str:
+        return self._inner.peer_of(key)
+
+    def peers(self) -> list[str]:
+        return self._inner.peers()
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        return self._inner.items()
+
+    # The abstract primitives never run — every public method delegates —
+    # but the ABC requires them.
+
+    def _do_lookup(self, key: str) -> str:  # pragma: no cover
+        return self._inner._do_lookup(key)
+
+    def _do_get(self, key: str) -> Any | None:  # pragma: no cover
+        return self._inner._do_get(key)
+
+    def _do_put(self, key: str, value: Any) -> None:  # pragma: no cover
+        self._inner._do_put(key, value)
+
+    def _do_remove(self, key: str) -> Any:  # pragma: no cover
+        return self._inner._do_remove(key)
+
+    def _do_contains(self, key: str) -> bool:  # pragma: no cover
+        return self._inner._do_contains(key)

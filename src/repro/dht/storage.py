@@ -1,0 +1,61 @@
+"""Per-peer key/value store used by all DHT substrates."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from repro.common.errors import DhtKeyError
+from repro.dht.hashing import key_digest
+
+
+class PeerStore:
+    """The objects one peer is responsible for.
+
+    Keys are stored together with their 160-bit digests, so handoff on
+    churn (transferring the sub-range of keys a new peer takes over)
+    does not re-hash the whole store.
+    """
+
+    def __init__(self) -> None:
+        self._values: dict[str, Any] = {}
+        self._digests: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def get(self, key: str) -> Any | None:
+        return self._values.get(key)
+
+    def put(self, key: str, value: Any) -> None:
+        if key not in self._digests:
+            self._digests[key] = key_digest(key)
+        self._values[key] = value
+
+    def remove(self, key: str) -> Any:
+        if key not in self._values:
+            raise DhtKeyError(f"key {key!r} not stored on this peer")
+        self._digests.pop(key, None)
+        return self._values.pop(key)
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        yield from self._values.items()
+
+    def digest_of(self, key: str) -> int:
+        return self._digests[key]
+
+    def pop_range(self, predicate) -> list[tuple[str, Any]]:
+        """Remove and return every (key, value) whose digest satisfies
+        *predicate*; used for key handoff during churn."""
+        moved = [
+            (key, value)
+            for key, value in self._values.items()
+            if predicate(self._digests[key])
+        ]
+        for key, _ in moved:
+            del self._values[key]
+            del self._digests[key]
+        return moved

@@ -1,0 +1,17 @@
+"""Experiment harness reproducing the paper's evaluation (Section 7).
+
+One module per figure:
+
+* :mod:`repro.experiments.fig5` — maintenance cost (Figs. 5a-5d);
+* :mod:`repro.experiments.fig6` — storage load balance (Figs. 6a-6b);
+* :mod:`repro.experiments.fig7` — range-query cost (Figs. 7a-7b);
+* :mod:`repro.experiments.ablation` — additional ablations (naming
+  function, lookup search, DHT substrate swap).
+
+``python -m repro.experiments.run_all`` regenerates every table at a
+configurable scale.
+"""
+
+from repro.experiments.harness import build_index, SCHEME_NAMES
+
+__all__ = ["build_index", "SCHEME_NAMES"]

@@ -1,0 +1,189 @@
+"""Ablations beyond the paper's figures.
+
+A1 — **naming function**: m-LIGHT versus the identity label-to-key
+mapping (:class:`~repro.baselines.naive.NaiveTreeIndex`).  Quantifies
+what Theorem 5 buys: halved split transfers and O(log D) lookups.
+
+A2 — **lookup search**: binary search over the candidate set versus
+linear root-down probing, on the same m-LIGHT index.
+
+A3 — **substrate swap**: the same insertion + query workload on
+LocalDht, Chord, Kademlia and Pastry.  The index-level counters must
+agree exactly (over-DHT layering); only overlay hops differ.
+
+A4 — **bulk loading vs incremental insertion**: the static Theorem-6
+construction against per-record maintenance, in both cost and balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.common.config import IndexConfig
+from repro.common.errors import IndexCorruptionError
+from repro.common.geometry import Point
+from repro.common.labels import candidate_string
+from repro.core.index import MLightIndex
+from repro.core.keys import bucket_key
+from repro.core.naming import name_run_end, naming_function
+from repro.dht.api import Dht
+from repro.dht.chord import ChordDht
+from repro.dht.kademlia import KademliaDht
+from repro.dht.localhash import LocalDht
+from repro.dht.pastry import PastryDht
+from repro.experiments.harness import build_index
+from repro.experiments.tables import format_table
+
+
+@dataclass(frozen=True, slots=True)
+class AblationRow:
+    """One configuration's aggregate costs."""
+
+    name: str
+    lookups: int
+    records_moved: int
+    hops: int
+
+
+def run_naming_ablation(
+    points: Sequence[Point], config: IndexConfig
+) -> list[AblationRow]:
+    """A1: insert the dataset under m-LIGHT and the naive mapping."""
+    rows = []
+    for name, scheme in (("mlight", "mlight"), ("naive-mapping", "naive")):
+        index = build_index(scheme, config)
+        for point in points:
+            index.insert(point)
+        stats = index.dht.stats
+        rows.append(
+            AblationRow(name, stats.lookups, stats.records_moved, stats.hops)
+        )
+    return rows
+
+
+def lookup_point_linear(
+    dht: Dht, point: Point, dims: int, max_depth: int
+) -> int:
+    """Linear-probe lookup on an m-LIGHT index; returns probe count.
+
+    Walks candidate lengths from the root downward, still skipping
+    whole name runs (anything less would be a strawman).
+    """
+    candidate = candidate_string(point, max_depth)
+    length = dims + 1
+    probes = 0
+    while length <= len(candidate):
+        name = naming_function(candidate[:length], dims)
+        probes += 1
+        bucket = dht.get(bucket_key(name))
+        if bucket is not None and bucket.covers(point):
+            return probes
+        length = name_run_end(candidate, len(name), dims) + 1
+    raise IndexCorruptionError(f"linear lookup of {point} failed")
+
+
+def run_lookup_ablation(
+    points: Sequence[Point],
+    lookup_keys: Sequence[Point],
+    config: IndexConfig,
+) -> list[AblationRow]:
+    """A2: binary-search vs linear lookup probe counts."""
+    index = build_index("mlight", config)
+    for point in points:
+        index.insert(point)
+
+    binary_probes = 0
+    for key in lookup_keys:
+        binary_probes += index.lookup(key).lookups
+    linear_probes = 0
+    for key in lookup_keys:
+        linear_probes += lookup_point_linear(
+            index.dht, key, config.dims, config.max_depth
+        )
+    return [
+        AblationRow("binary-search", binary_probes, 0, 0),
+        AblationRow("linear-probing", linear_probes, 0, 0),
+    ]
+
+
+def run_substrate_ablation(
+    points: Sequence[Point],
+    config: IndexConfig,
+    n_peers: int = 16,
+) -> list[AblationRow]:
+    """A3: identical workload over all four substrates.
+
+    Raises :class:`IndexCorruptionError` if the index-level counters
+    diverge across substrates — that would mean the index leaked
+    substrate details through the facade.
+    """
+    substrates = (
+        ("local", LocalDht(n_peers)),
+        ("chord", ChordDht.build(n_peers)),
+        ("kademlia", KademliaDht.build(n_peers)),
+        ("pastry", PastryDht.build(n_peers)),
+    )
+    rows = []
+    for name, dht in substrates:
+        index = MLightIndex(dht, config)
+        for point in points:
+            index.insert(point)
+        stats = index.dht.stats
+        rows.append(
+            AblationRow(name, stats.lookups, stats.records_moved, stats.hops)
+        )
+    reference = rows[0]
+    for row in rows[1:]:
+        if (
+            row.lookups != reference.lookups
+            or row.records_moved != reference.records_moved
+        ):
+            raise IndexCorruptionError(
+                "index-level costs differ across substrates: "
+                f"{reference} vs {row}"
+            )
+    return rows
+
+
+def run_bulkload_ablation(
+    points: Sequence[Point], config: IndexConfig
+) -> list[AblationRow]:
+    """A4: construction cost of bulk loading vs incremental inserts.
+
+    Both use the data-aware strategy; bulk loading applies it once at
+    the root (the static optimum of Theorem 6).
+    """
+    from repro.core.bulkload import bulk_load
+    from repro.core.split import DataAwareSplit
+
+    strategy = DataAwareSplit(config.expected_load)
+    bulk_dht = LocalDht()
+    bulk_load(bulk_dht, points, config, strategy)
+    rows = [
+        AblationRow(
+            "bulk-load",
+            bulk_dht.stats.lookups,
+            bulk_dht.stats.records_moved,
+            bulk_dht.stats.hops,
+        )
+    ]
+    incremental = MLightIndex.with_data_aware_splitting(LocalDht(), config)
+    for point in points:
+        incremental.insert(point)
+    stats = incremental.dht.stats
+    rows.append(
+        AblationRow(
+            "incremental", stats.lookups, stats.records_moved, stats.hops
+        )
+    )
+    return rows
+
+
+def render(rows: list[AblationRow], title: str) -> str:
+    headers = ["configuration", "DHT-lookups", "records moved", "hops"]
+    return format_table(
+        headers,
+        [[row.name, row.lookups, row.records_moved, row.hops] for row in rows],
+        title=title,
+    )

@@ -1,0 +1,159 @@
+"""ASCII line charts for experiment series.
+
+The evaluation environment has no plotting stack, so the harness can
+render each figure as a terminal chart: one mark per series, linear or
+log y-axis, values scaled into a fixed-size character grid.  Good
+enough to eyeball the shapes the paper's figures show (linearity,
+order-of-magnitude gaps, crossovers).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.common.errors import ReproError
+
+#: Marks assigned to series, in order.
+MARKS = "oxv*#@+%"
+
+
+def render_chart(
+    series: dict[str, Sequence[float]],
+    xs: Sequence[float],
+    *,
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Render *series* (name -> y values over shared *xs*) as text.
+
+    ``log_y=True`` plots log10(y) — the right view for Fig. 5/7, where
+    DST sits an order of magnitude above the rest.
+    """
+    if not series:
+        raise ReproError("nothing to chart")
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(xs)}:
+        raise ReproError(
+            f"series lengths {lengths} do not match {len(xs)} x values"
+        )
+    if len(xs) < 2:
+        raise ReproError("need at least two x values")
+    if width < 8 or height < 4:
+        raise ReproError("chart too small to draw")
+
+    def transform(value: float) -> float:
+        if not log_y:
+            return value
+        if value <= 0:
+            return 0.0
+        return math.log10(value)
+
+    all_values = [
+        transform(value) for values in series.values() for value in values
+    ]
+    y_low, y_high = min(all_values), max(all_values)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = min(xs), max(xs)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        mark = MARKS[index % len(MARKS)]
+        for x, y in zip(xs, values):
+            column = round(
+                (x - x_low) / (x_high - x_low) * (width - 1)
+            )
+            row = round(
+                (transform(y) - y_low) / (y_high - y_low) * (height - 1)
+            )
+            grid[height - 1 - row][column] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis_label = "log10(y)" if log_y else "y"
+    top = f"{y_high:.3g}"
+    bottom = f"{y_low:.3g}"
+    label_width = max(len(top), len(bottom), len(axis_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top
+        elif row_index == height - 1:
+            label = bottom
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + f"  x: {x_low:g} .. {x_high:g}"
+        + (f"   ({axis_label})" if log_y else "")
+    )
+    legend = "   ".join(
+        f"{MARKS[index % len(MARKS)]} {name}"
+        for index, name in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def chart_maintenance(series_list, measure: str = "lookups") -> str:
+    """Chart Fig. 5 output (list of MaintenanceSeries)."""
+    xs = series_list[0].xs
+    series = {
+        entry.scheme: (
+            entry.lookups if measure == "lookups" else entry.records_moved
+        )
+        for entry in series_list
+    }
+    title = (
+        "DHT-lookup cost" if measure == "lookups" else "Data-movement cost"
+    )
+    return render_chart(series, xs, title=title, log_y=True)
+
+
+def chart_rangequery(series_list, measure: str = "bandwidth") -> str:
+    """Chart Fig. 7 output (list of RangeQuerySeries)."""
+    xs = series_list[0].spans
+    series = {
+        entry.variant: (
+            entry.bandwidth if measure == "bandwidth" else entry.latency
+        )
+        for entry in series_list
+    }
+    log_y = measure == "bandwidth"
+    title = (
+        "Bandwidth (#DHT-lookups/query)"
+        if measure == "bandwidth"
+        else "Latency (rounds/query)"
+    )
+    return render_chart(series, xs, title=title, log_y=log_y)
+
+
+def chart_loadbalance(series_list, measure: str = "empty") -> str:
+    """Chart Fig. 6 output (list of LoadBalanceSeries).
+
+    Plotted against inserted records (shared across strategies; the
+    tree sizes differ slightly per strategy, see the tables).
+    """
+    xs = [sample.inserted for sample in series_list[0].samples]
+    if measure == "empty":
+        series = {
+            entry.strategy: [
+                100.0 * sample.empty_fraction for sample in entry.samples
+            ]
+            for entry in series_list
+        }
+        title = "% empty buckets vs inserted records"
+    else:
+        series = {
+            entry.strategy: [
+                sample.bucket_variance for sample in entry.samples
+            ]
+            for entry in series_list
+        }
+        title = "bucket load variance vs inserted records"
+    return render_chart(series, xs, title=title)

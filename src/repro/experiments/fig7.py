@@ -1,0 +1,126 @@
+"""Fig. 7 — range-query performance.
+
+Builds each index over the dataset, then runs batches of uniformly
+placed rectangles per *range span* (rectangle area) and reports the two
+measures of Section 7.4 per query: bandwidth (number of DHT-lookups)
+and latency (rounds of DHT-lookups).  m-LIGHT appears three times:
+basic, parallel-2 and parallel-4.
+
+Expected shape (paper): DST's bandwidth an order of magnitude above
+everyone (its virtual depth D fragments ranges); m-LIGHT basic the most
+bandwidth-efficient; the parallel variants spend more bandwidth to cut
+latency; DST latency lowest for tiny ranges but growing steeply with
+span as saturated nodes force descent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.common.config import IndexConfig
+from repro.common.geometry import Point
+from repro.common.rng import derive_seed
+from repro.experiments.harness import build_index
+from repro.experiments.tables import format_table
+from repro.workloads.queries import uniform_range_queries
+
+#: (display name, scheme, lookahead) rows of Fig. 7.
+FIG7_VARIANTS = (
+    ("mlight-basic", "mlight", 1),
+    ("mlight-parallel-2", "mlight", 2),
+    ("mlight-parallel-4", "mlight", 4),
+    ("pht", "pht", None),
+    ("dst", "dst", None),
+)
+
+DEFAULT_SPANS = (0.05, 0.1, 0.2, 0.4, 0.6)
+
+
+@dataclass(frozen=True, slots=True)
+class RangeQuerySeries:
+    """One curve: mean per-query costs by range span."""
+
+    variant: str
+    spans: tuple[float, ...]
+    bandwidth: tuple[float, ...]
+    latency: tuple[float, ...]
+
+
+def run_rangequery_experiment(
+    points: Sequence[Point],
+    config: IndexConfig,
+    spans: Sequence[float] = DEFAULT_SPANS,
+    queries_per_span: int = 10,
+    seed: int = 0,
+) -> list[RangeQuerySeries]:
+    """Reproduce Figs. 7a/7b over *points*."""
+    # One index per scheme, reused across spans (the workload is
+    # read-only).  m-LIGHT variants share a single index instance.
+    indexes: dict[str, object] = {}
+    for _, scheme, _ in FIG7_VARIANTS:
+        if scheme not in indexes:
+            index = build_index(scheme, config)
+            for point in points:
+                index.insert(point)
+            indexes[scheme] = index
+
+    workloads = {
+        span: uniform_range_queries(
+            queries_per_span,
+            span,
+            dims=config.dims,
+            seed=derive_seed(seed, "fig7", span),
+        )
+        for span in spans
+    }
+
+    series = []
+    for variant, scheme, lookahead in FIG7_VARIANTS:
+        index = indexes[scheme]
+        bandwidth: list[float] = []
+        latency: list[float] = []
+        for span in spans:
+            total_lookups = 0
+            total_rounds = 0
+            for query in workloads[span]:
+                if lookahead is None:
+                    result = index.range_query(query)
+                else:
+                    result = index.range_query(query, lookahead=lookahead)
+                total_lookups += result.lookups
+                total_rounds += result.rounds
+            count = len(workloads[span])
+            bandwidth.append(total_lookups / count)
+            latency.append(total_rounds / count)
+        series.append(
+            RangeQuerySeries(
+                variant, tuple(spans), tuple(bandwidth), tuple(latency)
+            )
+        )
+    return series
+
+
+def render(series: list[RangeQuerySeries]) -> str:
+    """Figs. 7a/7b as tables: rows = spans, columns = variants."""
+    spans = series[0].spans
+    headers = ["range span"] + [entry.variant for entry in series]
+    bandwidth_rows = [
+        [span] + [entry.bandwidth[position] for entry in series]
+        for position, span in enumerate(spans)
+    ]
+    latency_rows = [
+        [span] + [entry.latency[position] for entry in series]
+        for position, span in enumerate(spans)
+    ]
+    return (
+        format_table(
+            headers, bandwidth_rows,
+            title="Bandwidth (# of DHT-lookups per query)",
+        )
+        + "\n\n"
+        + format_table(
+            headers, latency_rows,
+            title="Latency (rounds of DHT-lookups per query)",
+        )
+    )

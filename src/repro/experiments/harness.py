@@ -1,0 +1,103 @@
+"""Shared experiment plumbing: index factories and progressive runs.
+
+Figure runners use :func:`build_index` so every scheme is constructed
+on an identical fresh substrate with identical parameters — the setup
+of the paper's Section 7.1 (Bamboo/OpenDHT with >100 logical peers
+becomes a 128-peer consistent-hashing substrate; see DESIGN.md on why
+the metrics are substrate independent).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.common.config import IndexConfig
+from repro.common.errors import ReproError
+from repro.common.geometry import Point
+from repro.core.index import MLightIndex
+from repro.baselines.dst import DstIndex
+from repro.baselines.naive import NaiveTreeIndex
+from repro.baselines.pht import PhtIndex
+from repro.dht.api import Dht
+from repro.dht.localhash import LocalDht
+
+#: Peers in the simulated substrate (the paper runs "more than one
+#: hundred logical peers").
+DEFAULT_PEERS = 128
+
+SCHEME_NAMES = ("mlight", "mlight-da", "pht", "dst", "naive")
+
+
+def build_index(
+    scheme: str,
+    config: IndexConfig,
+    dht: Dht | None = None,
+    n_peers: int = DEFAULT_PEERS,
+):
+    """Construct one index instance of *scheme* on a fresh LocalDht.
+
+    Schemes: ``mlight`` (threshold splitting), ``mlight-da``
+    (data-aware splitting), ``pht``, ``dst``, ``naive`` (identity
+    mapping ablation).
+    """
+    if dht is None:
+        dht = LocalDht(n_peers)
+    if scheme == "mlight":
+        return MLightIndex(dht, config)
+    if scheme == "mlight-da":
+        return MLightIndex.with_data_aware_splitting(dht, config)
+    if scheme == "pht":
+        return PhtIndex(dht, config)
+    if scheme == "dst":
+        return DstIndex(dht, config)
+    if scheme == "naive":
+        return NaiveTreeIndex(dht, config)
+    raise ReproError(
+        f"unknown scheme {scheme!r}; expected one of {SCHEME_NAMES}"
+    )
+
+
+@dataclass(slots=True)
+class ProgressiveSample:
+    """Cumulative maintenance costs after ``inserted`` insertions."""
+
+    inserted: int
+    lookups: int
+    records_moved: int
+
+
+def progressive_insert(
+    index,
+    points: Sequence[Point],
+    sample_at: Iterable[int],
+    callback: Callable[[int], None] | None = None,
+) -> list[ProgressiveSample]:
+    """Insert *points* in order, snapshotting cumulative costs.
+
+    *sample_at* lists insertion counts (ascending) at which to record a
+    :class:`ProgressiveSample`; *callback* additionally fires at each
+    sample point (e.g. to measure load balance).
+    """
+    targets = sorted(set(sample_at))
+    samples: list[ProgressiveSample] = []
+    next_target = 0
+    for count, point in enumerate(points, start=1):
+        index.insert(point)
+        if next_target < len(targets) and count == targets[next_target]:
+            stats = index.dht.stats
+            samples.append(
+                ProgressiveSample(count, stats.lookups, stats.records_moved)
+            )
+            if callback is not None:
+                callback(count)
+            next_target += 1
+    return samples
+
+
+def default_sample_points(total: int, samples: int = 6) -> list[int]:
+    """Evenly spaced sample sizes ending at *total* (Fig. 5a style)."""
+    if total < 1:
+        raise ReproError("total must be >= 1")
+    samples = max(1, min(samples, total))
+    return [round(total * (index + 1) / samples) for index in range(samples)]

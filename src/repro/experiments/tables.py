@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Sequence
+from pathlib import Path
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(
+            header.ljust(widths[column])
+            for column, header in enumerate(headers)
+        )
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(
+                cell.rjust(widths[column]) for column, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def save_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> None:
+    """Write the same table as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

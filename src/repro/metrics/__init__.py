@@ -1,0 +1,20 @@
+"""Measurement utilities: cost meters and load-balance statistics."""
+
+from repro.metrics.counters import CostMeter, CostDelta
+from repro.metrics.loadbalance import (
+    load_variance,
+    normalized_load_variance,
+    empty_bucket_fraction,
+    gini_coefficient,
+    peer_record_loads,
+)
+
+__all__ = [
+    "CostMeter",
+    "CostDelta",
+    "load_variance",
+    "normalized_load_variance",
+    "empty_bucket_fraction",
+    "gini_coefficient",
+    "peer_record_loads",
+]

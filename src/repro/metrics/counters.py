@@ -1,0 +1,69 @@
+"""Cost metering around index operations.
+
+Wrap a phase of an experiment in a :class:`CostMeter` to read off how
+many DHT-lookups and record transfers that phase consumed — the two
+maintenance measures of Fig. 5 — without the phases having to reset the
+underlying counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dht.api import Dht, DhtStats
+
+
+@dataclass(frozen=True, slots=True)
+class CostDelta:
+    """Counter increments across one metered phase."""
+
+    lookups: int
+    records_moved: int
+    gets: int
+    puts: int
+    removes: int
+    hops: int
+
+    def __add__(self, other: "CostDelta") -> "CostDelta":
+        return CostDelta(
+            self.lookups + other.lookups,
+            self.records_moved + other.records_moved,
+            self.gets + other.gets,
+            self.puts + other.puts,
+            self.removes + other.removes,
+            self.hops + other.hops,
+        )
+
+
+class CostMeter:
+    """Context manager measuring DhtStats increments.
+
+    Usage::
+
+        with CostMeter(index.dht) as meter:
+            index.insert(key)
+        print(meter.delta.lookups, meter.delta.records_moved)
+    """
+
+    def __init__(self, dht: Dht) -> None:
+        self._stats: DhtStats = dht.stats
+        self._before: dict[str, int] | None = None
+        self.delta: CostDelta | None = None
+
+    def __enter__(self) -> "CostMeter":
+        self._before = self._stats.snapshot()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        after = self._stats.snapshot()
+        before = self._before or {}
+        self.delta = CostDelta(
+            lookups=after["lookups"] - before.get("lookups", 0),
+            records_moved=(
+                after["records_moved"] - before.get("records_moved", 0)
+            ),
+            gets=after["gets"] - before.get("gets", 0),
+            puts=after["puts"] - before.get("puts", 0),
+            removes=after["removes"] - before.get("removes", 0),
+            hops=after["hops"] - before.get("hops", 0),
+        )

@@ -1,0 +1,87 @@
+"""Storage load-balance statistics (Fig. 6 measures).
+
+The paper reports two measures for the splitting-strategy comparison:
+the **variance of storage on each peer** and the **percentage of empty
+buckets**.  Absolute variance scales with dataset size, so we report it
+normalised by the squared mean (the squared coefficient of variation),
+which makes curves comparable across tree sizes; the raw variance is
+also available.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.common.errors import ReproError
+from repro.core.bucket import LeafBucket
+from repro.dht.api import Dht
+
+
+def load_variance(loads: Sequence[float]) -> float:
+    """Population variance of *loads*."""
+    if not loads:
+        raise ReproError("variance of an empty load vector is undefined")
+    mean = sum(loads) / len(loads)
+    return sum((load - mean) ** 2 for load in loads) / len(loads)
+
+
+def normalized_load_variance(loads: Sequence[float]) -> float:
+    """Squared coefficient of variation: ``var / mean**2``.
+
+    Zero for perfectly even loads; dimensionless, so the Fig. 6a curves
+    for different tree sizes share one scale.  Defined as 0 when every
+    load is zero.
+    """
+    if not loads:
+        raise ReproError("variance of an empty load vector is undefined")
+    mean = sum(loads) / len(loads)
+    if mean == 0:
+        return 0.0
+    return load_variance(loads) / (mean * mean)
+
+
+def empty_bucket_fraction(buckets: Iterable[LeafBucket]) -> float:
+    """Fraction of leaf buckets holding zero records (Fig. 6b)."""
+    total = 0
+    empty = 0
+    for bucket in buckets:
+        total += 1
+        if bucket.is_empty:
+            empty += 1
+    if total == 0:
+        raise ReproError("no buckets to measure")
+    return empty / total
+
+
+def gini_coefficient(loads: Sequence[float]) -> float:
+    """Gini coefficient of *loads* — a complementary imbalance view."""
+    if not loads:
+        raise ReproError("Gini of an empty load vector is undefined")
+    ordered = sorted(loads)
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    cumulative = 0.0
+    weighted = 0.0
+    for rank, load in enumerate(ordered, start=1):
+        cumulative += load
+        weighted += cumulative
+    n = len(ordered)
+    # Standard formula: G = (n + 1 - 2 * sum(cum_i) / total) / n
+    return (n + 1 - 2 * weighted / total) / n
+
+
+def peer_record_loads(dht: Dht, key_prefix: str = "ml:") -> list[int]:
+    """Records stored per peer, counting buckets under *key_prefix*.
+
+    This is the Fig. 6a population: every peer of the DHT, weighted by
+    the records of the index buckets it hosts (peers hosting none count
+    as zero).
+    """
+    loads = {peer: 0 for peer in dht.peers()}
+    for key, value in dht.items():
+        if not key.startswith(key_prefix):
+            continue
+        if isinstance(value, LeafBucket):
+            loads[dht.peer_of(key)] += value.load
+    return list(loads.values())

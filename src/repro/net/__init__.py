@@ -1,0 +1,25 @@
+"""Simulated network substrate.
+
+The DHT overlays in :mod:`repro.dht` exchange messages exclusively
+through :class:`~repro.net.simnet.SimNetwork`, which meters every
+message (count, payload size, per-link latency), can inject drops and
+partitions, and drives time through a deterministic discrete-event
+clock.  The indexing layers above never talk to the network directly —
+they only see the DHT ``put/get/lookup`` facade — which mirrors the
+paper's strictly layered over-DHT design.
+"""
+
+from repro.net.stats import NetworkStats
+from repro.net.events import EventScheduler
+from repro.net.latency import LatencyModel, ConstantLatency, UniformLatency
+from repro.net.simnet import SimNetwork, RpcError
+
+__all__ = [
+    "NetworkStats",
+    "EventScheduler",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "SimNetwork",
+    "RpcError",
+]

@@ -1,0 +1,126 @@
+"""Deterministic discrete-event scheduler.
+
+Backs everything time-dependent in the simulation: message latencies,
+periodic DHT stabilization, and churn schedules.  Events with equal
+timestamps fire in submission order (a monotonic sequence number breaks
+ties), so runs are reproducible regardless of callback content.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.common.errors import ReproError
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`EventScheduler.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._event.time
+
+
+class EventScheduler:
+    """A priority-queue event loop with explicit virtual time."""
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Schedule *callback* to fire *delay* time units from now."""
+        if delay < 0:
+            raise ReproError(f"cannot schedule into the past: delay={delay}")
+        event = _Event(self._now + delay, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        jitter: Callable[[], float] | None = None,
+    ) -> EventHandle:
+        """Schedule *callback* to fire every *period* units until cancelled.
+
+        *jitter*, when given, returns an extra delay added to each
+        period (e.g. a seeded random draw) so periodic protocols do not
+        fire in lockstep.
+        """
+        if period <= 0:
+            raise ReproError(f"period must be positive, got {period}")
+        handle_box: list[EventHandle] = []
+
+        def fire() -> None:
+            callback()
+            extra = jitter() if jitter is not None else 0.0
+            next_handle = self.schedule(period + extra, fire)
+            # Rebind so cancel() stops the *next* firing too.
+            handle_box[0]._event = next_handle._event
+
+        first = self.schedule(period + (jitter() if jitter else 0.0), fire)
+        handle_box.append(first)
+        return first
+
+    def run_until(self, deadline: float) -> int:
+        """Fire every event with time <= *deadline*; return count fired."""
+        fired = 0
+        while self._queue and self._queue[0].time <= deadline:
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            if event.cancelled:
+                continue
+            event.callback()
+            fired += 1
+        self._now = max(self._now, deadline)
+        return fired
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue completely; guard against runaway schedules."""
+        fired = 0
+        while self._queue:
+            if fired >= max_events:
+                raise ReproError(
+                    f"event storm: more than {max_events} events fired"
+                )
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            if event.cancelled:
+                continue
+            event.callback()
+            fired += 1
+        return fired
+
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for event in self._queue if not event.cancelled)

@@ -1,0 +1,52 @@
+"""Per-link latency models for the simulated network.
+
+The experiments of the paper run on a LAN, so the default model is a
+constant small delay; the uniform model adds seeded jitter for churn
+stress tests.  Latency only matters to components that run under the
+discrete-event clock (stabilization, churn); the synchronous metering
+path of the index experiments is latency-agnostic by design, because
+the paper measures latency in *rounds of DHT-lookups*, not seconds.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.common.rng import make_rng
+
+
+class LatencyModel(ABC):
+    """Strategy returning the one-way delay between two addresses."""
+
+    @abstractmethod
+    def delay(self, src: str, dst: str) -> float:
+        """One-way message delay in virtual time units."""
+
+
+class ConstantLatency(LatencyModel):
+    """Every link has the same fixed delay (LAN-like)."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        self._delay = delay
+
+    def delay(self, src: str, dst: str) -> float:
+        return self._delay
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from [low, high], deterministic per seed.
+
+    The draw is keyed on (src, dst) order of calls, i.e. it is a stream,
+    not a static per-link matrix; good enough for jittering periodic
+    protocols apart.
+    """
+
+    def __init__(self, low: float, high: float, seed: int = 0) -> None:
+        if not 0 <= low <= high:
+            raise ValueError(f"invalid latency range [{low}, {high}]")
+        self._low = low
+        self._high = high
+        self._rng = make_rng(seed)
+
+    def delay(self, src: str, dst: str) -> float:
+        return self._rng.uniform(self._low, self._high)

@@ -1,0 +1,23 @@
+"""Message envelope for the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One network message.
+
+    ``size_bytes`` is the *accounted* payload size.  The index layers
+    report data movement in records (as the paper does); the DHT layer
+    translates that to an approximate byte size only for network-level
+    accounting, so nothing depends on Python object sizes.
+    """
+
+    src: str
+    dst: str
+    msg_type: str
+    payload: Any
+    size_bytes: int = 0

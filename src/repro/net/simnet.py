@@ -1,0 +1,143 @@
+"""Synchronous simulated network with fault injection.
+
+Peers register a handler object; other peers reach them through
+:meth:`SimNetwork.rpc`, which models one request message and one
+response message.  The call itself executes synchronously (the DHT
+protocols here are sequential request/response chains), while the
+discrete-event clock in :mod:`repro.net.events` advances by the modelled
+round-trip latency, so time-based protocols (stabilization, churn)
+observe realistic orderings.
+
+Fault injection supports: unregistered/crashed destinations, seeded
+random message drops, and explicit bidirectional partitions.  All of it
+is deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import NodeUnreachableError
+from repro.common.rng import make_rng
+from repro.net.events import EventScheduler
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Message
+from repro.net.stats import NetworkStats
+
+
+class RpcError(NodeUnreachableError):
+    """An RPC failed to reach its destination (crash, drop, partition)."""
+
+
+class SimNetwork:
+    """Registry plus transport for simulated peers."""
+
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        drop_probability: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1), got {drop_probability}"
+            )
+        self._handlers: dict[str, Any] = {}
+        self._latency = latency if latency is not None else ConstantLatency()
+        self._drop_probability = drop_probability
+        self._rng = make_rng(seed)
+        self._partitions: set[frozenset[str]] = set()
+        self.stats = NetworkStats()
+        self.clock = EventScheduler()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def register(self, address: str, handler: Any) -> None:
+        """Attach *handler* (an object with ``handle_rpc``) at *address*."""
+        if address in self._handlers:
+            raise NodeUnreachableError(f"address {address!r} already in use")
+        self._handlers[address] = handler
+
+    def unregister(self, address: str) -> None:
+        """Detach the peer at *address* (models a crash or departure)."""
+        self._handlers.pop(address, None)
+
+    def is_registered(self, address: str) -> bool:
+        """True while a live handler is attached at *address*."""
+        return address in self._handlers
+
+    def addresses(self) -> list[str]:
+        """Snapshot of all live addresses."""
+        return sorted(self._handlers)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def partition(self, group_a: set[str], group_b: set[str]) -> None:
+        """Make every (a, b) pair across the two groups unreachable."""
+        for a in group_a:
+            for b in group_b:
+                self._partitions.add(frozenset((a, b)))
+
+    def heal_partitions(self) -> None:
+        """Remove every injected partition."""
+        self._partitions.clear()
+
+    def _partitioned(self, src: str, dst: str) -> bool:
+        return frozenset((src, dst)) in self._partitions
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def rpc(
+        self,
+        src: str,
+        dst: str,
+        method: str,
+        *args: Any,
+        size_bytes: int = 0,
+        **kwargs: Any,
+    ) -> Any:
+        """Invoke ``handle_rpc(method, *args, **kwargs)`` on peer *dst*.
+
+        Accounts two messages (request + response) and advances the
+        virtual clock by the round-trip latency.  Raises
+        :class:`RpcError` when the destination is dead, partitioned
+        away, or the message is dropped by fault injection.
+        """
+        self.stats.record_rpc()
+        if dst not in self._handlers:
+            self.stats.record_drop()
+            raise RpcError(f"peer {dst!r} is not reachable (dead or unknown)")
+        if self._partitioned(src, dst):
+            self.stats.record_drop()
+            raise RpcError(f"peers {src!r} and {dst!r} are partitioned")
+        if self._drop_probability and self._rng.random() < self._drop_probability:
+            self.stats.record_drop()
+            raise RpcError(f"message {src!r} -> {dst!r} dropped")
+
+        request = Message(src, dst, method, (args, kwargs), size_bytes)
+        self.stats.record_message(method, size_bytes)
+        handler = self._handlers[dst]
+        result = handler.handle_rpc(request)
+        self.stats.record_message(method + ":reply", 0)
+        round_trip = self._latency.delay(src, dst) + self._latency.delay(dst, src)
+        self.clock.run_until(self.clock.now + round_trip)
+        return result
+
+    def broadcast(self, src: str, method: str, *args: Any, **kwargs: Any) -> int:
+        """Best-effort RPC to every live peer; returns delivery count."""
+        delivered = 0
+        for address in self.addresses():
+            if address == src:
+                continue
+            try:
+                self.rpc(src, address, method, *args, **kwargs)
+            except RpcError:
+                continue
+            delivered += 1
+        return delivered

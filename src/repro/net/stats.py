@@ -1,0 +1,55 @@
+"""Network-level accounting.
+
+These counters meter what crosses the simulated wire.  They are
+deliberately separate from the index-level counters in
+:mod:`repro.metrics.counters`: the paper reports index-level costs
+(number of DHT-lookups, records moved, rounds), which are substrate
+independent, while these network counters let the DHT layer itself be
+validated (e.g. Chord's O(log N) hops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class NetworkStats:
+    """Mutable counters for one simulated network."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    dropped: int = 0
+    rpc_calls: int = 0
+    per_type: dict[str, int] = field(default_factory=dict)
+
+    def record_message(self, msg_type: str, size_bytes: int) -> None:
+        """Account one delivered message of *msg_type*."""
+        self.messages += 1
+        self.bytes_sent += size_bytes
+        self.per_type[msg_type] = self.per_type.get(msg_type, 0) + 1
+
+    def record_drop(self) -> None:
+        """Account one injected message drop."""
+        self.dropped += 1
+
+    def record_rpc(self) -> None:
+        """Account one request/response exchange."""
+        self.rpc_calls += 1
+
+    def snapshot(self) -> dict[str, int]:
+        """Return an immutable copy of the headline counters."""
+        return {
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+            "dropped": self.dropped,
+            "rpc_calls": self.rpc_calls,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (between experiment phases)."""
+        self.messages = 0
+        self.bytes_sent = 0
+        self.dropped = 0
+        self.rpc_calls = 0
+        self.per_type.clear()

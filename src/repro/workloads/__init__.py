@@ -1,0 +1,12 @@
+"""Workload generators: range queries and insertion/deletion traces."""
+
+from repro.workloads.queries import uniform_range_queries, point_queries
+from repro.workloads.traces import Operation, insert_trace, mixed_trace
+
+__all__ = [
+    "uniform_range_queries",
+    "point_queries",
+    "Operation",
+    "insert_trace",
+    "mixed_trace",
+]

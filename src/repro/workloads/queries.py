@@ -1,0 +1,65 @@
+"""Range-query workloads.
+
+The paper's Fig. 7 uses "rectangles uniformly distributed in the data
+space" parameterised by *range span* — the area of the rectangle.
+:func:`uniform_range_queries` reproduces that: given a span (area
+fraction), it draws axis-aligned boxes of that volume, at uniformly
+random positions, with mild random aspect-ratio jitter.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReproError
+from repro.common.geometry import Point, Region
+from repro.common.rng import make_rng
+
+
+def uniform_range_queries(
+    n: int,
+    span: float,
+    dims: int = 2,
+    aspect_jitter: float = 0.5,
+    seed: int = 0,
+) -> list[Region]:
+    """*n* boxes of volume *span*, uniformly placed in the unit cube.
+
+    *aspect_jitter* in [0, 1) scales how far each side may deviate from
+    the cube root shape (0 = perfect hypercubes).
+    """
+    if not 0.0 < span <= 1.0:
+        raise ReproError(f"span must be in (0, 1], got {span}")
+    if not 0.0 <= aspect_jitter < 1.0:
+        raise ReproError("aspect_jitter must be in [0, 1)")
+    rng = make_rng(seed)
+    base_side = span ** (1.0 / dims)
+    queries: list[Region] = []
+    for _ in range(n):
+        # Draw side factors that multiply to 1 to preserve the volume.
+        factors = [
+            1.0 + aspect_jitter * (rng.random() * 2.0 - 1.0)
+            for _ in range(dims)
+        ]
+        geometric_mean = 1.0
+        for factor in factors:
+            geometric_mean *= factor
+        geometric_mean **= 1.0 / dims
+        sides = [
+            min(1.0, base_side * factor / geometric_mean)
+            for factor in factors
+        ]
+        lows = tuple(
+            rng.uniform(0.0, 1.0 - side) for side in sides
+        )
+        highs = tuple(low + side for low, side in zip(lows, sides))
+        queries.append(Region(lows, highs))
+    return queries
+
+
+def point_queries(
+    points: list[Point], n: int, seed: int = 0
+) -> list[Point]:
+    """*n* exact-match targets sampled from *points* (with replacement)."""
+    if not points:
+        raise ReproError("cannot sample queries from an empty dataset")
+    rng = make_rng(seed)
+    return [rng.choice(points) for _ in range(n)]

@@ -1,0 +1,75 @@
+"""Insertion/deletion traces for maintenance experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import ReproError
+from repro.common.geometry import Point
+from repro.common.rng import make_rng
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """One trace step: ``kind`` is ``"insert"`` or ``"delete"``."""
+
+    kind: str
+    key: Point
+    value: Any = None
+
+
+def insert_trace(points: list[Point], value: Any = None) -> list[Operation]:
+    """Progressive insertion of *points*, in order — the Fig. 5 workload."""
+    return [Operation("insert", point, value) for point in points]
+
+
+def mixed_trace(
+    points: list[Point],
+    delete_fraction: float = 0.3,
+    seed: int = 0,
+) -> list[Operation]:
+    """Insert everything, interleaving deletions of earlier keys.
+
+    After a warm-up of 10% pure inserts, each step is a deletion of a
+    uniformly chosen live key with probability *delete_fraction*,
+    otherwise the next insertion.  Exercises the merge paths.
+    """
+    if not 0.0 <= delete_fraction < 1.0:
+        raise ReproError("delete_fraction must be in [0, 1)")
+    rng = make_rng(seed)
+    operations: list[Operation] = []
+    live: list[Point] = []
+    warmup = max(1, len(points) // 10)
+    cursor = 0
+    while cursor < len(points):
+        if (
+            len(operations) > warmup
+            and live
+            and rng.random() < delete_fraction
+        ):
+            index = rng.randrange(len(live))
+            live[index], live[-1] = live[-1], live[index]
+            operations.append(Operation("delete", live.pop()))
+            continue
+        point = points[cursor]
+        cursor += 1
+        live.append(point)
+        operations.append(Operation("insert", point))
+    return operations
+
+
+def apply_trace(index, operations: list[Operation]) -> tuple[int, int]:
+    """Apply *operations* to any over-DHT index; returns
+    (inserts, deletes) applied."""
+    inserts = deletes = 0
+    for operation in operations:
+        if operation.kind == "insert":
+            index.insert(operation.key, operation.value)
+            inserts += 1
+        elif operation.kind == "delete":
+            index.delete(operation.key, operation.value)
+            deletes += 1
+        else:
+            raise ReproError(f"unknown trace op {operation.kind!r}")
+    return inserts, deletes

@@ -1,0 +1,84 @@
+"""Shared fixtures and oracles for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.common.labels import root_label
+
+
+# ----------------------------------------------------------------------
+# Tree-shape oracles
+# ----------------------------------------------------------------------
+
+def random_tree_leaves(
+    rng: random.Random,
+    dims: int,
+    max_depth: int,
+    split_probability: float = 0.6,
+) -> list[str]:
+    """Generate the leaf set of a random space kd-tree.
+
+    Starts from the ordinary root and recursively splits each node with
+    *split_probability*, never deeper than *max_depth*.  The returned
+    labels are prefix-free and tile the space — exactly the leaf sets
+    the index produces.
+    """
+    leaves: list[str] = []
+    stack = [root_label(dims)]
+    while stack:
+        label = stack.pop()
+        depth = len(label) - dims - 1
+        if depth < max_depth and rng.random() < split_probability:
+            stack.append(label + "0")
+            stack.append(label + "1")
+        else:
+            leaves.append(label)
+    return leaves
+
+
+def internal_nodes_of(leaves: list[str], dims: int) -> set[str]:
+    """All internal labels of the tree with the given leaf set,
+    including the virtual root."""
+    internals = {"0" * dims}
+    for leaf in leaves:
+        for end in range(dims + 1, len(leaf)):
+            internals.add(leaf[:end])
+    return internals
+
+
+def brute_force_range(points, query):
+    """Reference answer for a closed range query over raw keys."""
+    return sorted(p for p in points if query.contains_point_closed(p))
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+
+def labels_strategy(dims: int, max_depth: int = 12):
+    """Random valid non-virtual-root labels for *dims* dimensions."""
+    return st.text(alphabet="01", min_size=0, max_size=max_depth).map(
+        lambda bits: root_label(dims) + bits
+    )
+
+
+def points_strategy(dims: int):
+    """Random data keys in [0, 1)^dims."""
+    coordinate = st.floats(
+        min_value=0.0,
+        max_value=1.0,
+        exclude_max=True,
+        allow_nan=False,
+        allow_infinity=False,
+    )
+    return st.tuples(*[coordinate] * dims)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG per test."""
+    return random.Random(0xC0FFEE)

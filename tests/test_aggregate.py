@@ -1,0 +1,149 @@
+"""Tests for range aggregation."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.config import IndexConfig
+from repro.common.geometry import Region
+from repro.core.aggregate import (
+    Aggregate,
+    AggregateQueryEngine,
+    count_in,
+    sum_in,
+)
+from repro.core.index import MLightIndex
+from repro.dht.localhash import LocalDht
+
+
+def make_index(**overrides):
+    defaults = dict(
+        dims=2, max_depth=14, split_threshold=8, merge_threshold=4
+    )
+    defaults.update(overrides)
+    return MLightIndex(LocalDht(16), IndexConfig(**defaults))
+
+
+class TestAggregateAlgebra:
+    def test_of_values(self):
+        aggregate = Aggregate.of_values([1.0, 2.0, 3.0])
+        assert aggregate.count == 3
+        assert aggregate.total == 6.0
+        assert aggregate.minimum == 1.0
+        assert aggregate.maximum == 3.0
+        assert aggregate.mean == 2.0
+
+    def test_empty(self):
+        aggregate = Aggregate.of_values([])
+        assert aggregate.count == 0
+        assert math.isnan(aggregate.mean)
+
+    @given(
+        st.lists(st.floats(-100, 100, allow_nan=False), max_size=20),
+        st.lists(st.floats(-100, 100, allow_nan=False), max_size=20),
+    )
+    def test_combine_equals_concatenation(self, left, right):
+        combined = Aggregate.of_values(left).combine(
+            Aggregate.of_values(right)
+        )
+        direct = Aggregate.of_values(left + right)
+        assert combined.count == direct.count
+        assert combined.total == pytest.approx(direct.total)
+        assert combined.minimum == direct.minimum
+        assert combined.maximum == direct.maximum
+
+    @given(
+        st.lists(st.floats(-10, 10, allow_nan=False), max_size=8),
+        st.lists(st.floats(-10, 10, allow_nan=False), max_size=8),
+    )
+    def test_combine_commutative(self, left, right):
+        a = Aggregate.of_values(left)
+        b = Aggregate.of_values(right)
+        assert a.combine(b) == b.combine(a)
+
+
+class TestAggregateQueries:
+    @pytest.fixture()
+    def populated(self):
+        rng = random.Random(0)
+        index = make_index()
+        points = []
+        for position in range(400):
+            point = (rng.random(), rng.random())
+            points.append((point, float(position % 10)))
+            index.insert(point, value=float(position % 10))
+        return index, points
+
+    def test_count_matches_materialised(self, populated):
+        index, points = populated
+        query = Region((0.2, 0.3), (0.6, 0.7))
+        counted = count_in(index, query)
+        expected = sum(
+            1 for point, _ in points
+            if query.contains_point_closed(point)
+        )
+        assert counted.aggregate.count == expected
+        # Same traversal -> same costs as the materialising query.
+        materialised = index.range_query(query)
+        assert counted.lookups == materialised.lookups
+        assert counted.rounds == materialised.rounds
+        assert counted.buckets_visited == len(
+            materialised.visited_leaves
+        )
+
+    def test_sum_min_max_mean(self, populated):
+        index, points = populated
+        query = Region((0.1, 0.1), (0.9, 0.9))
+        result = sum_in(index, query)
+        values = [
+            value for point, value in points
+            if query.contains_point_closed(point)
+        ]
+        assert result.aggregate.total == pytest.approx(sum(values))
+        assert result.aggregate.minimum == min(values)
+        assert result.aggregate.maximum == max(values)
+        assert result.aggregate.mean == pytest.approx(
+            sum(values) / len(values)
+        )
+
+    def test_custom_value_function(self, populated):
+        index, points = populated
+        query = Region((0.0, 0.0), (1.0, 1.0))
+        doubled = sum_in(
+            index, query, value_of=lambda record: 2.0 * record.value
+        )
+        plain = sum_in(index, query)
+        assert doubled.aggregate.total == pytest.approx(
+            2.0 * plain.aggregate.total
+        )
+
+    def test_non_numeric_values_count_as_one(self):
+        index = make_index()
+        index.insert((0.2, 0.2), "a string")
+        index.insert((0.3, 0.3), None)
+        result = sum_in(index, Region((0.0, 0.0), (0.5, 0.5)))
+        assert result.aggregate.total == 2.0  # 1.0 per record
+
+    def test_empty_region(self, populated):
+        index, _ = populated
+        result = count_in(
+            index, Region((0.95, 0.95), (0.9500001, 0.9500001))
+        )
+        assert result.aggregate.count >= 0  # may be 0; must not crash
+
+    def test_lookahead_variant(self, populated):
+        index, points = populated
+        query = Region((0.2, 0.2), (0.8, 0.8))
+        basic = count_in(index, query)
+        parallel = count_in(index, query, lookahead=4)
+        assert basic.aggregate.count == parallel.aggregate.count
+        assert parallel.rounds <= basic.rounds
+
+    def test_engine_direct(self, populated):
+        index, points = populated
+        engine = AggregateQueryEngine(index.dht, 2, 14)
+        result = engine.query(Region((0.0, 0.0), (1.0, 1.0)))
+        assert result.aggregate.count == len(points)

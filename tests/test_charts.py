@@ -1,0 +1,100 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.experiments.charts import (
+    MARKS,
+    chart_loadbalance,
+    chart_maintenance,
+    chart_rangequery,
+    render_chart,
+)
+
+
+class TestRenderChart:
+    def test_marks_and_legend_present(self):
+        text = render_chart(
+            {"a": [1, 2, 3], "b": [3, 2, 1]}, [0, 1, 2], title="T"
+        )
+        assert "T" in text
+        assert "o a" in text and "x b" in text
+        assert "o" in text.splitlines()[1:][0] or "o" in text
+
+    def test_monotone_series_render_monotone(self):
+        text = render_chart({"up": [0, 5, 10]}, [0, 1, 2], height=11,
+                            width=21)
+        rows = [line.split("|")[1] for line in text.splitlines()
+                if "|" in line]
+        # The last column's mark is above the first column's mark.
+        first_row = next(i for i, row in enumerate(rows) if row[0] == "o")
+        last_row = next(i for i, row in enumerate(rows) if row[-1] == "o")
+        assert last_row < first_row
+
+    def test_log_scale_compresses_big_gaps(self):
+        linear = render_chart(
+            {"a": [1, 1, 1], "b": [1000, 1000, 1000]}, [0, 1, 2]
+        )
+        logged = render_chart(
+            {"a": [1, 1, 1], "b": [1000, 1000, 1000]}, [0, 1, 2],
+            log_y=True,
+        )
+        assert "log10" in logged
+        assert "log10" not in linear
+
+    def test_constant_series_ok(self):
+        text = render_chart({"flat": [5, 5, 5]}, [0, 1, 2])
+        assert "flat" in text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            render_chart({}, [0, 1])
+        with pytest.raises(ReproError):
+            render_chart({"a": [1, 2]}, [0, 1, 2])
+        with pytest.raises(ReproError):
+            render_chart({"a": [1]}, [0])
+        with pytest.raises(ReproError):
+            render_chart({"a": [1, 2]}, [0, 1], width=2)
+
+    def test_many_series_cycle_marks(self):
+        series = {f"s{i}": [i, i + 1] for i in range(len(MARKS) + 2)}
+        text = render_chart(series, [0, 1])
+        assert "s0" in text and f"s{len(MARKS) + 1}" in text
+
+
+class TestFigureAdapters:
+    @pytest.fixture(scope="class")
+    def small_results(self):
+        from repro.common.config import IndexConfig
+        from repro.datasets.northeast import northeast_surrogate
+        from repro.experiments import fig5, fig6, fig7
+
+        config = IndexConfig(
+            dims=2, max_depth=16, split_threshold=25,
+            merge_threshold=12, expected_load=18,
+        )
+        points = northeast_surrogate(1200, seed=3)
+        return {
+            "fig5": fig5.run_datasize_sweep(points, config, samples=3),
+            "fig6": fig6.run_loadbalance_experiment(
+                points, config, n_samples=3, n_peers=16, virtual_nodes=8
+            ),
+            "fig7": fig7.run_rangequery_experiment(
+                points, config, spans=(0.1, 0.3), queries_per_span=2
+            ),
+        }
+
+    def test_chart_maintenance(self, small_results):
+        for measure in ("lookups", "moved"):
+            text = chart_maintenance(small_results["fig5"], measure)
+            assert "dst" in text and "mlight" in text
+
+    def test_chart_rangequery(self, small_results):
+        for measure in ("bandwidth", "latency"):
+            text = chart_rangequery(small_results["fig7"], measure)
+            assert "mlight-basic" in text
+
+    def test_chart_loadbalance(self, small_results):
+        for measure in ("empty", "variance"):
+            text = chart_loadbalance(small_results["fig6"], measure)
+            assert "threshold" in text and "data-aware" in text

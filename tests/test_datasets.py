@@ -1,0 +1,192 @@
+"""Tests for dataset generators and the loader."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.datasets.loader import load_points
+from repro.datasets.northeast import (
+    NE_CARDINALITY,
+    northeast_sample,
+    northeast_surrogate,
+)
+from repro.datasets.synthetic import (
+    clamp_unit,
+    clustered_points,
+    normalize_points,
+    skewed_points,
+    uniform_points,
+)
+
+
+def in_unit(points, dims):
+    return all(
+        len(point) == dims and all(0.0 <= v < 1.0 for v in point)
+        for point in points
+    )
+
+
+class TestUniform:
+    def test_count_range_and_determinism(self):
+        first = uniform_points(500, dims=3, seed=1)
+        second = uniform_points(500, dims=3, seed=1)
+        assert first == second
+        assert len(first) == 500
+        assert in_unit(first, 3)
+
+    def test_different_seeds_differ(self):
+        assert uniform_points(10, seed=1) != uniform_points(10, seed=2)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ReproError):
+            uniform_points(-1)
+
+
+class TestClustered:
+    def test_mass_concentrates_at_centers(self):
+        points = clustered_points(
+            2000, [(0.2, 0.2), (0.8, 0.8)], [(0.01, 0.01), (0.01, 0.01)],
+            seed=3,
+        )
+        near_any = sum(
+            1
+            for point in points
+            if min(
+                abs(point[0] - cx) + abs(point[1] - cy)
+                for cx, cy in [(0.2, 0.2), (0.8, 0.8)]
+            ) < 0.1
+        )
+        assert near_any > 1900
+        assert in_unit(points, 2)
+
+    def test_background_fraction(self):
+        points = clustered_points(
+            2000, [(0.5, 0.5)], [(0.001, 0.001)],
+            background_fraction=0.5, seed=4,
+        )
+        far = sum(
+            1
+            for point in points
+            if abs(point[0] - 0.5) + abs(point[1] - 0.5) > 0.1
+        )
+        assert 700 < far < 1300
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            clustered_points(10, [], [])
+        with pytest.raises(ReproError):
+            clustered_points(10, [(0.5, 0.5)], [])
+        with pytest.raises(ReproError):
+            clustered_points(
+                10, [(0.5, 0.5)], [(0.1, 0.1)], background_fraction=2.0
+            )
+
+
+class TestSkewed:
+    def test_skew_toward_origin(self):
+        points = skewed_points(2000, exponent=4.0, seed=5)
+        below = sum(1 for point in points if point[0] < 0.1)
+        assert below > 1000
+        assert in_unit(points, 2)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ReproError):
+            skewed_points(10, exponent=0.0)
+
+
+class TestNormalize:
+    def test_min_max_into_unit(self):
+        raw = [(-50.0, 1000.0), (0.0, 2000.0), (25.0, 1500.0)]
+        normalized = normalize_points(raw)
+        assert in_unit(normalized, 2)
+        assert normalized[0][0] == 0.0
+        assert normalized[1][1] == pytest.approx(clamp_unit(1.0))
+
+    def test_degenerate_dimension(self):
+        normalized = normalize_points([(5.0, 1.0), (5.0, 2.0)])
+        assert in_unit(normalized, 2)
+
+    def test_empty(self):
+        assert normalize_points([]) == []
+
+
+class TestClampUnit:
+    def test_clamps(self):
+        assert clamp_unit(-0.5) == 0.0
+        assert clamp_unit(0.5) == 0.5
+        assert clamp_unit(1.5) < 1.0
+
+
+class TestNortheast:
+    def test_default_cardinality_constant(self):
+        assert NE_CARDINALITY == 123_593
+
+    def test_sample_shape(self):
+        points = northeast_sample(5000)
+        assert len(points) == 5000
+        assert in_unit(points, 2)
+
+    def test_deterministic(self):
+        assert northeast_surrogate(1000) == northeast_surrogate(1000)
+
+    def test_metros_are_dense(self):
+        """A large share of mass falls inside the three metro boxes."""
+        points = northeast_sample(10_000)
+        boxes = [
+            ((0.10, 0.08), (0.36, 0.34)),  # Philadelphia
+            ((0.36, 0.30), (0.66, 0.60)),  # New York
+            ((0.66, 0.62), (0.92, 0.90)),  # Boston
+        ]
+        inside = sum(
+            1
+            for point in points
+            if any(
+                lo[0] <= point[0] <= hi[0] and lo[1] <= point[1] <= hi[1]
+                for lo, hi in boxes
+            )
+        )
+        assert inside > 8000
+
+    def test_ocean_is_empty(self):
+        """The south-east corner (the 'Atlantic') holds ~no points —
+        the property that drives empty buckets in Fig. 6b."""
+        points = northeast_sample(20_000)
+        ocean = sum(
+            1 for point in points if point[0] > 0.75 and point[1] < 0.35
+        )
+        assert ocean < 20
+
+
+class TestLoader:
+    def test_load_whitespace_file(self, tmp_path):
+        path = tmp_path / "points.txt"
+        path.write_text("# comment\n1.0 2.0\n3.0 4.0\n\n5.0 6.0\n")
+        points = load_points(path)
+        assert len(points) == 3
+        assert in_unit(points, 2)
+
+    def test_id_column_dropped(self, tmp_path):
+        path = tmp_path / "points.txt"
+        path.write_text("7 1.0 2.0\n8 3.0 4.0\n")
+        points = load_points(path)
+        assert len(points) == 2
+
+    def test_unnormalized(self, tmp_path):
+        path = tmp_path / "points.txt"
+        path.write_text("0.25 0.5\n")
+        assert load_points(path, normalize=False) == [(0.25, 0.5)]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_points(tmp_path / "nope.txt")
+
+    def test_bad_line_reported_with_number(self, tmp_path):
+        path = tmp_path / "points.txt"
+        path.write_text("1.0 2.0\nbogus line here maybe\n")
+        with pytest.raises(ReproError, match=":2"):
+            load_points(path)
+
+    def test_too_few_columns(self, tmp_path):
+        path = tmp_path / "points.txt"
+        path.write_text("1.0\n")
+        with pytest.raises(ReproError):
+            load_points(path)

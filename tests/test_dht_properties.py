@@ -1,0 +1,91 @@
+"""Property-based tests of the DHT substrates under random histories."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.chord import ChordDht
+from repro.dht.kademlia import KademliaDht
+from repro.dht.localhash import LocalDht
+from repro.dht.pastry import PastryDht
+
+
+@st.composite
+def membership_history(draw):
+    """A random sequence of joins/leaves starting from a small ring."""
+    initial = draw(st.integers(min_value=2, max_value=6))
+    steps = draw(
+        st.lists(
+            st.sampled_from(["join", "leave"]), min_size=0, max_size=6
+        )
+    )
+    return initial, steps
+
+
+class TestChordUnderRandomHistories:
+    @given(membership_history(), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_no_data_loss_and_correct_routing(self, history, seed):
+        initial, steps = history
+        rng = random.Random(seed)
+        dht = ChordDht.build(initial)
+        keys = {f"key-{index}": index for index in range(25)}
+        for key, value in keys.items():
+            dht.put(key, value)
+        joined = 0
+        for step in steps:
+            if step == "join":
+                dht.join(f"late-{joined}")
+                joined += 1
+            elif len(dht.peers()) > 2:
+                dht.leave(rng.choice(dht.peers()))
+            dht.stabilize_all(2)
+        # Graceful histories lose nothing, ownership is consistent,
+        # and every key remains routable.
+        assert sum(1 for _ in dht.items()) == len(keys)
+        for key, value in keys.items():
+            assert dht.get(key) == value
+            assert dht.lookup(key) == dht.peer_of(key)
+
+    @given(st.integers(min_value=2, max_value=24))
+    @settings(max_examples=10, deadline=None)
+    def test_every_key_has_exactly_one_owner(self, n_peers):
+        dht = ChordDht.build(n_peers)
+        for index in range(30):
+            dht.put(f"key-{index}", index)
+        # Each key stored exactly once, on its oracle owner.
+        placement: dict[str, list[str]] = {}
+        for name in dht.peers():
+            for key, _ in dht.node(name).store.items():
+                placement.setdefault(key, []).append(name)
+        for key, holders in placement.items():
+            assert holders == [dht.peer_of(key)]
+
+
+class TestOwnershipAgreement:
+    """All substrates agree with their own oracle for arbitrary keys."""
+
+    @given(st.lists(st.text(min_size=1, max_size=20), min_size=1,
+                    max_size=20, unique=True))
+    @settings(max_examples=15, deadline=None)
+    def test_localdht(self, keys):
+        dht = LocalDht(12)
+        for key in keys:
+            dht.put(key, key)
+            assert dht.lookup(key) == dht.peer_of(key)
+            assert dht.get(key) == key
+
+    @pytest.mark.parametrize("factory", [
+        lambda: ChordDht.build(10),
+        lambda: KademliaDht.build(10),
+        lambda: PastryDht.build(10),
+    ], ids=["chord", "kademlia", "pastry"])
+    def test_routed_overlays(self, factory, rng):
+        dht = factory()
+        for index in range(40):
+            key = f"key-{rng.random()}"
+            dht.put(key, index)
+            assert dht.lookup(key) == dht.peer_of(key)
+            assert dht.get(key) == index

@@ -1,0 +1,95 @@
+"""Cross-index equivalence: all three schemes answer identically, and
+their cost ordering matches the paper's headline comparisons."""
+
+import pytest
+
+from repro.common.config import IndexConfig
+from repro.baselines.dst import DstIndex
+from repro.baselines.pht import PhtIndex
+from repro.core.index import MLightIndex
+from repro.datasets.northeast import northeast_surrogate
+from repro.dht.localhash import LocalDht
+from repro.workloads.queries import uniform_range_queries
+from tests.conftest import brute_force_range
+
+
+@pytest.fixture(scope="module")
+def built_indexes():
+    config = IndexConfig(
+        dims=2, max_depth=16, split_threshold=20, merge_threshold=10
+    )
+    points = northeast_surrogate(3000, seed=99)
+    indexes = {
+        "mlight": MLightIndex(LocalDht(32), config),
+        "pht": PhtIndex(LocalDht(32), config),
+        "dst": DstIndex(LocalDht(32), config),
+    }
+    for index in indexes.values():
+        for point in points:
+            index.insert(point)
+    return indexes, points
+
+
+class TestSameAnswers:
+    def test_range_queries_agree(self, built_indexes):
+        indexes, points = built_indexes
+        queries = uniform_range_queries(8, 0.05, seed=5)
+        for query in queries:
+            expected = brute_force_range(points, query)
+            for name, index in indexes.items():
+                got = sorted(
+                    r.key for r in index.range_query(query).records
+                )
+                assert got == expected, f"{name} diverged on {query}"
+
+    def test_record_counts_agree(self, built_indexes):
+        indexes, points = built_indexes
+        for name, index in indexes.items():
+            assert index.total_records() == len(points), name
+
+
+class TestPaperCostOrdering:
+    """The qualitative claims of Section 7 as assertions."""
+
+    def test_maintenance_lookups_mlight_cheapest(self, built_indexes):
+        indexes, _ = built_indexes
+        lookups = {
+            name: index.dht.stats.lookups for name, index in indexes.items()
+        }
+        assert lookups["mlight"] < lookups["pht"] < lookups["dst"]
+
+    def test_maintenance_movement_ordering(self, built_indexes):
+        indexes, _ = built_indexes
+        moved = {
+            name: index.dht.stats.records_moved
+            for name, index in indexes.items()
+        }
+        assert moved["mlight"] < moved["pht"] < moved["dst"]
+        # "worse than the other two by an order of magnitude" — at this
+        # reduced depth (D=16 vs the paper's 28) the replication factor
+        # shrinks with the path length, so assert a conservative gap;
+        # the full-depth gap is checked by the Fig. 5 benchmark.
+        assert moved["dst"] > 2.5 * moved["pht"]
+
+    def test_query_bandwidth_ordering(self, built_indexes):
+        indexes, _ = built_indexes
+        queries = uniform_range_queries(5, 0.1, seed=6)
+        totals = {}
+        for name, index in indexes.items():
+            totals[name] = sum(
+                index.range_query(query).lookups for query in queries
+            )
+        assert totals["mlight"] < totals["pht"] < totals["dst"]
+
+    def test_parallel_latency_ordering(self, built_indexes):
+        indexes, _ = built_indexes
+        mlight = indexes["mlight"]
+        queries = uniform_range_queries(6, 0.2, seed=7)
+        basic = sum(mlight.range_query(q).rounds for q in queries)
+        par2 = sum(
+            mlight.range_query(q, lookahead=2).rounds for q in queries
+        )
+        par4 = sum(
+            mlight.range_query(q, lookahead=4).rounds for q in queries
+        )
+        assert par4 <= par2 <= basic

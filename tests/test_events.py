@@ -1,0 +1,119 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.net.events import EventScheduler
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(3.0, lambda: fired.append("c"))
+        sched.schedule(1.0, lambda: fired.append("a"))
+        sched.schedule(2.0, lambda: fired.append("b"))
+        sched.run_all()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_submission_order(self):
+        sched = EventScheduler()
+        fired = []
+        for name in "abcde":
+            sched.schedule(1.0, lambda n=name: fired.append(n))
+        sched.run_all()
+        assert fired == list("abcde")
+
+    def test_run_until_stops_at_deadline(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(1))
+        sched.schedule(5.0, lambda: fired.append(5))
+        count = sched.run_until(2.0)
+        assert count == 1
+        assert fired == [1]
+        assert sched.now == 2.0
+        assert sched.pending() == 1
+
+    def test_clock_advances_to_event_time(self):
+        sched = EventScheduler()
+        times = []
+        sched.schedule(2.5, lambda: times.append(sched.now))
+        sched.run_all()
+        assert times == [2.5]
+
+    def test_negative_delay_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(ReproError):
+            sched.schedule(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        sched = EventScheduler()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sched.schedule(1.0, lambda: fired.append("second"))
+
+        sched.schedule(1.0, first)
+        sched.run_all()
+        assert fired == ["first", "second"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sched.run_all()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sched = EventScheduler()
+        handle = sched.schedule(1.0, lambda: None)
+        sched.run_all()
+        handle.cancel()  # must not raise
+
+
+class TestPeriodic:
+    def test_fires_repeatedly(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_every(1.0, lambda: fired.append(sched.now))
+        sched.run_until(5.5)
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_cancel_stops_the_chain(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule_every(1.0, lambda: fired.append(1))
+        sched.run_until(2.5)
+        handle.cancel()
+        sched.run_until(10.0)
+        assert len(fired) == 2
+
+    def test_jitter_applied(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_every(1.0, lambda: fired.append(sched.now),
+                             jitter=lambda: 0.5)
+        sched.run_until(5.0)
+        assert fired == [1.5, 3.0, 4.5]
+
+    def test_zero_period_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(ReproError):
+            sched.schedule_every(0.0, lambda: None)
+
+
+class TestRunawayGuard:
+    def test_event_storm_detected(self):
+        sched = EventScheduler()
+
+        def respawn():
+            sched.schedule(0.0, respawn)
+
+        sched.schedule(0.0, respawn)
+        with pytest.raises(ReproError):
+            sched.run_all(max_events=100)

@@ -1,0 +1,55 @@
+"""Every example script must run clean end-to-end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Song A" in out
+        assert "Song C" in out
+        assert "Song E" not in out.split("matched:")[1].split("parallel")[0]
+
+    def test_spatial_poi_search(self):
+        out = run_example("spatial_poi_search.py", "3000")
+        assert "[threshold]" in out and "[data-aware]" in out
+        assert "downtown NYC" in out
+        # The Atlantic rectangle is empty in the surrogate.
+        for line in out.splitlines():
+            if "Atlantic" in line:
+                assert line.split()[3] == "0"
+
+    def test_multi_attribute_search(self):
+        out = run_example("multi_attribute_search.py")
+        assert "rated>4 published 2007-2008" in out
+        assert "dance hits" in out
+
+    def test_nearest_neighbors(self):
+        out = run_example("nearest_neighbors.py", "5000")
+        assert "5 nearest to the Manhattan pin" in out
+        assert out.count("distance") >= 15
+
+    def test_churn_resilience(self):
+        out = run_example("churn_resilience.py")
+        assert "survival 100.0%" in out
+        assert "identical across churn" in out
+
+    def test_distributed_deployment(self):
+        out = run_example("distributed_deployment.py")
+        assert "identical answers and identical metered costs" in out
+        assert out.count("DHT-lookups") >= 3

@@ -1,0 +1,188 @@
+"""Exhaustive verification over *every* small space kd-tree.
+
+Random trees (tests elsewhere) sample the space; here we enumerate all
+full binary trees up to a leaf budget (Catalan numbers: 1, 1, 2, 5, 14,
+42 trees for 1..6 leaves) and check, for each tree:
+
+* the naming bijection (Theorems 2/4) — exactly, not probabilistically;
+* lookup against the covering-leaf oracle for a grid of probe points;
+* range queries against brute force for a grid of rectangles, in both
+  basic and parallel modes.
+
+If any of the label-algebra or engine logic had an edge case on some
+tree shape (lopsided chains, complete trees, single leaves), this finds
+it deterministically.
+"""
+
+import itertools
+
+import pytest
+
+from repro.common.geometry import Region, region_of_label
+from repro.common.labels import root_label
+from repro.core.bucket import LeafBucket
+from repro.core.keys import bucket_key
+from repro.core.lookup import lookup_point
+from repro.core.naming import naming_function
+from repro.core.rangequery import RangeQueryEngine
+from repro.core.records import Record
+from repro.dht.localhash import LocalDht
+from tests.conftest import internal_nodes_of
+
+
+def all_trees(dims: int, max_leaves: int, max_depth: int):
+    """Yield every leaf set reachable by splitting up to the budget."""
+    seen: set[frozenset] = set()
+    frontier = [frozenset([root_label(dims)])]
+    while frontier:
+        tree = frontier.pop()
+        if tree in seen:
+            continue
+        seen.add(tree)
+        if len(tree) >= max_leaves:
+            continue
+        for leaf in tree:
+            if len(leaf) - dims - 1 >= max_depth:
+                continue
+            split = (tree - {leaf}) | {leaf + "0", leaf + "1"}
+            if split not in seen:
+                frontier.append(split)
+    return [sorted(tree) for tree in sorted(seen, key=sorted)]
+
+
+def materialize(leaves, dims, points):
+    """Buckets on a LocalDht, with *points* distributed into cells."""
+    dht = LocalDht(8)
+    regions = {leaf: region_of_label(leaf, dims) for leaf in leaves}
+    buckets = {leaf: LeafBucket(leaf, dims) for leaf in leaves}
+    for point in points:
+        for leaf, region in regions.items():
+            if region.contains_point(point):
+                buckets[leaf].add(Record(point))
+                break
+    for leaf, bucket in buckets.items():
+        dht.put(bucket_key(naming_function(leaf, dims)), bucket)
+    return dht
+
+
+def grid_points(dims: int, per_dim: int):
+    axis = [(i + 0.37) / per_dim for i in range(per_dim)]
+    return list(itertools.product(axis, repeat=dims))
+
+
+class TestExhaustive2D:
+    # A 6-leaf tree can be a depth-5 chain, so the depth cap must be 5
+    # for the enumeration to be exactly Catalan.
+    TREES = all_trees(2, max_leaves=6, max_depth=5)
+
+    def test_enumeration_is_catalan(self):
+        by_size = {}
+        for tree in self.TREES:
+            by_size[len(tree)] = by_size.get(len(tree), 0) + 1
+        # Catalan(k-1) trees with k leaves (depth cap not binding here).
+        assert by_size[1] == 1
+        assert by_size[2] == 1
+        assert by_size[3] == 2
+        assert by_size[4] == 5
+        assert by_size[5] == 14
+        assert by_size[6] == 42
+
+    def test_bijection_on_every_tree(self):
+        for leaves in self.TREES:
+            names = {naming_function(leaf, 2) for leaf in leaves}
+            assert len(names) == len(leaves)
+            assert names == internal_nodes_of(leaves, 2)
+
+    def test_lookup_on_every_tree(self):
+        probes = grid_points(2, 5)
+        for leaves in self.TREES:
+            dht = materialize(leaves, 2, [])
+            for point in probes:
+                found = lookup_point(dht, point, 2, 6)
+                assert found.bucket.covers(point), (leaves, point)
+
+    @pytest.mark.parametrize("lookahead", [1, 2])
+    def test_range_queries_on_every_tree(self, lookahead):
+        points = grid_points(2, 6)
+        corners = [0.0, 0.3, 0.55, 1.0]
+        queries = [
+            Region((x1, y1), (x2, y2))
+            for x1, x2 in itertools.combinations(corners, 2)
+            for y1, y2 in itertools.combinations(corners, 2)
+        ]
+        for leaves in self.TREES:
+            dht = materialize(leaves, 2, points)
+            engine = RangeQueryEngine(dht, 2, 6)
+            for query in queries:
+                got = sorted(
+                    record.key
+                    for record in engine.query(
+                        query, lookahead=lookahead
+                    ).records
+                )
+                expected = sorted(
+                    point
+                    for point in points
+                    if query.contains_point_closed(point)
+                )
+                assert got == expected, (leaves, query)
+
+
+class TestExhaustive1D:
+    TREES = all_trees(1, max_leaves=7, max_depth=6)
+
+    def test_bijection_on_every_tree(self):
+        for leaves in self.TREES:
+            names = {naming_function(leaf, 1) for leaf in leaves}
+            assert len(names) == len(leaves)
+            assert names == internal_nodes_of(leaves, 1)
+
+    def test_lookup_and_ranges_on_every_tree(self):
+        points = [((i + 0.5) / 16,) for i in range(16)]
+        queries = [
+            Region((low / 8,), (high / 8,))
+            for low, high in itertools.combinations(range(9), 2)
+        ]
+        for leaves in self.TREES:
+            dht = materialize(leaves, 1, points)
+            engine = RangeQueryEngine(dht, 1, 7)
+            for point in points[::3]:
+                assert lookup_point(dht, point, 1, 7).bucket.covers(point)
+            for query in queries[::4]:
+                got = sorted(
+                    record.key for record in engine.query(query).records
+                )
+                expected = sorted(
+                    p for p in points if query.contains_point_closed(p)
+                )
+                assert got == expected, (leaves, query)
+
+
+class TestExhaustive3D:
+    TREES = all_trees(3, max_leaves=5, max_depth=4)
+
+    def test_bijection_on_every_tree(self):
+        for leaves in self.TREES:
+            names = {naming_function(leaf, 3) for leaf in leaves}
+            assert len(names) == len(leaves)
+            assert names == internal_nodes_of(leaves, 3)
+
+    def test_range_queries_on_every_tree(self):
+        points = grid_points(3, 3)
+        queries = [
+            Region((0.0, 0.0, 0.0), (0.5, 0.5, 0.5)),
+            Region((0.2, 0.0, 0.4), (0.9, 0.6, 1.0)),
+            Region((0.0, 0.0, 0.0), (1.0, 1.0, 1.0)),
+            Region((0.5, 0.5, 0.5), (0.5, 0.5, 0.5)),
+        ]
+        for leaves in self.TREES:
+            dht = materialize(leaves, 3, points)
+            engine = RangeQueryEngine(dht, 3, 6)
+            for query in queries:
+                got = sorted(
+                    record.key for record in engine.query(query).records
+                )
+                expected = sorted(
+                    p for p in points if query.contains_point_closed(p)
+                )
+                assert got == expected, (leaves, query)

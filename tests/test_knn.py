@@ -1,0 +1,117 @@
+"""Tests for the k-NN extension."""
+
+import random
+
+import pytest
+
+from repro.common.config import IndexConfig
+from repro.common.errors import ReproError
+from repro.core.index import MLightIndex
+from repro.core.knn import euclidean
+from repro.dht.localhash import LocalDht
+
+
+def make_index(dims=2, **overrides):
+    defaults = dict(
+        dims=dims, max_depth=16, split_threshold=8, merge_threshold=4
+    )
+    defaults.update(overrides)
+    return MLightIndex(LocalDht(16), IndexConfig(**defaults))
+
+
+def brute_force_knn(points, target, k):
+    return sorted(
+        points, key=lambda point: (euclidean(point, target), point)
+    )[:k]
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_matches_brute_force(self, seed, k):
+        rng = random.Random(seed)
+        index = make_index()
+        points = [(rng.random(), rng.random()) for _ in range(300)]
+        for point in points:
+            index.insert(point)
+        for _ in range(10):
+            target = (rng.random(), rng.random())
+            result = index.knn(target, k)
+            got = [neighbor.record.key for neighbor in result.neighbors]
+            expected = brute_force_knn(points, target, k)
+            # Compare by distance (ties may legitimately reorder).
+            assert [euclidean(p, target) for p in got] == pytest.approx(
+                [euclidean(p, target) for p in expected]
+            )
+
+    def test_distances_sorted(self):
+        rng = random.Random(9)
+        index = make_index()
+        for _ in range(200):
+            index.insert((rng.random(), rng.random()))
+        result = index.knn((0.5, 0.5), 15)
+        distances = [neighbor.distance for neighbor in result.neighbors]
+        assert distances == sorted(distances)
+
+    def test_3d(self):
+        rng = random.Random(10)
+        index = make_index(dims=3, max_depth=15)
+        points = [
+            (rng.random(), rng.random(), rng.random()) for _ in range(200)
+        ]
+        for point in points:
+            index.insert(point)
+        target = (0.3, 0.3, 0.3)
+        result = index.knn(target, 5)
+        got = [neighbor.record.key for neighbor in result.neighbors]
+        expected = brute_force_knn(points, target, 5)
+        assert [euclidean(p, target) for p in got] == pytest.approx(
+            [euclidean(p, target) for p in expected]
+        )
+
+
+class TestEdgeCases:
+    def test_fewer_records_than_k(self):
+        index = make_index()
+        index.insert((0.1, 0.1), "a")
+        index.insert((0.9, 0.9), "b")
+        result = index.knn((0.5, 0.5), 10)
+        assert len(result.neighbors) == 2
+
+    def test_empty_index(self):
+        index = make_index()
+        result = index.knn((0.5, 0.5), 3)
+        assert result.neighbors == []
+
+    def test_query_point_in_empty_region(self):
+        """Target in a far corner away from all data."""
+        rng = random.Random(11)
+        index = make_index()
+        points = [
+            (rng.random() * 0.2, rng.random() * 0.2) for _ in range(100)
+        ]
+        for point in points:
+            index.insert(point)
+        result = index.knn((0.95, 0.95), 3)
+        expected = brute_force_knn(points, (0.95, 0.95), 3)
+        got = [neighbor.record.key for neighbor in result.neighbors]
+        assert [euclidean(p, (0.95, 0.95)) for p in got] == pytest.approx(
+            [euclidean(p, (0.95, 0.95)) for p in expected]
+        )
+
+    def test_invalid_k(self):
+        index = make_index()
+        with pytest.raises(ReproError):
+            index.knn((0.5, 0.5), 0)
+
+
+class TestCosts:
+    def test_local_query_cheaper_than_full_scan(self):
+        """A k-NN in a dense region should not enumerate the tree."""
+        rng = random.Random(12)
+        index = make_index(split_threshold=16)
+        for _ in range(2000):
+            index.insert((rng.random(), rng.random()))
+        tree_size = index.tree_size()
+        result = index.knn((0.5, 0.5), 5)
+        assert result.lookups < tree_size

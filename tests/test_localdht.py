@@ -1,0 +1,123 @@
+"""Tests for the oracle DHT and the facade's metering semantics."""
+
+import pytest
+
+from repro.common.errors import DhtKeyError, ReproError
+from repro.dht.localhash import LocalDht
+
+
+class TestOwnership:
+    def test_peer_of_deterministic(self):
+        first = LocalDht(16)
+        second = LocalDht(16)
+        for index in range(50):
+            key = f"key-{index}"
+            assert first.peer_of(key) == second.peer_of(key)
+
+    def test_keys_spread_over_peers(self):
+        dht = LocalDht(16)
+        owners = {dht.peer_of(f"key-{i}") for i in range(500)}
+        assert len(owners) >= 12  # most peers receive something
+
+    def test_single_peer_owns_everything(self):
+        dht = LocalDht(1)
+        assert dht.peer_of("anything") == "peer-0000"
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ReproError):
+            LocalDht(0)
+        with pytest.raises(ReproError):
+            LocalDht(4, virtual_nodes=0)
+
+    def test_virtual_nodes_even_out_arcs(self):
+        """With vnodes, per-peer key counts concentrate near the mean."""
+        keys = [f"key-{i}" for i in range(4000)]
+
+        def spread(dht):
+            counts = {}
+            for key in keys:
+                owner = dht.peer_of(key)
+                counts[owner] = counts.get(owner, 0) + 1
+            loads = [counts.get(p, 0) for p in dht.peers()]
+            mean = sum(loads) / len(loads)
+            return sum((l - mean) ** 2 for l in loads) / len(loads) / mean**2
+
+        plain = spread(LocalDht(32, virtual_nodes=1))
+        virtual = spread(LocalDht(32, virtual_nodes=64))
+        assert virtual < plain
+
+
+class TestOperationsAndMetering:
+    def test_put_get_roundtrip(self):
+        dht = LocalDht(8)
+        dht.put("k", {"v": 1})
+        assert dht.get("k") == {"v": 1}
+
+    def test_get_missing_returns_none(self):
+        assert LocalDht(8).get("missing") is None
+
+    def test_remove(self):
+        dht = LocalDht(8)
+        dht.put("k", 1)
+        assert dht.remove("k") == 1
+        with pytest.raises(DhtKeyError):
+            dht.remove("k")
+
+    def test_every_operation_counts_one_lookup(self):
+        dht = LocalDht(8)
+        dht.lookup("a")
+        dht.put("a", 1)
+        dht.get("a")
+        dht.remove("a")
+        assert dht.stats.lookups == 4
+        assert dht.stats.puts == 1
+        assert dht.stats.gets == 1
+        assert dht.stats.removes == 1
+
+    def test_records_moved_accounting(self):
+        dht = LocalDht(8)
+        dht.put("a", "bucket", records_moved=7)
+        dht.put("b", "bucket", records_moved=0)
+        dht.remove("a", records_moved=3)
+        assert dht.stats.records_moved == 10
+
+    def test_rewrite_local_is_free(self):
+        dht = LocalDht(8)
+        dht.put("a", 1)
+        before = dht.stats.snapshot()
+        dht.rewrite_local("a", 2)
+        assert dht.stats.snapshot() == before
+        assert dht.peek("a") == 2
+
+    def test_rewrite_local_requires_existing_key(self):
+        dht = LocalDht(8)
+        with pytest.raises(DhtKeyError):
+            dht.rewrite_local("ghost", 1)
+
+    def test_peek_and_items_are_free(self):
+        dht = LocalDht(8)
+        dht.put("a", 1)
+        before = dht.stats.snapshot()
+        assert dht.peek("a") == 1
+        assert dict(dht.items()) == {"a": 1}
+        assert dht.stats.snapshot() == before
+
+    def test_stats_reset(self):
+        dht = LocalDht(8)
+        dht.put("a", 1)
+        dht.stats.reset()
+        assert dht.stats.snapshot()["lookups"] == 0
+
+    def test_value_stored_on_responsible_peer(self):
+        dht = LocalDht(8)
+        dht.put("k", "value")
+        owner = dht.peer_of("k")
+        assert dht.lookup("k") == owner
+
+    def test_load_by_peer_with_weights(self):
+        dht = LocalDht(4)
+        dht.put("a", [1, 2, 3])
+        dht.put("b", [1])
+        loads = dht.load_by_peer(weigh=len)
+        assert sum(loads.values()) == 4
+        assert set(loads) == set(dht.peers())

@@ -1,0 +1,102 @@
+"""Tests for load-balance statistics and cost metering."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.core.bucket import LeafBucket
+from repro.core.records import Record
+from repro.dht.localhash import LocalDht
+from repro.metrics.counters import CostDelta, CostMeter
+from repro.metrics.loadbalance import (
+    empty_bucket_fraction,
+    gini_coefficient,
+    load_variance,
+    normalized_load_variance,
+    peer_record_loads,
+)
+
+
+class TestVariance:
+    def test_uniform_loads_zero_variance(self):
+        assert load_variance([5, 5, 5, 5]) == 0.0
+        assert normalized_load_variance([5, 5, 5]) == 0.0
+
+    def test_known_value(self):
+        assert load_variance([0, 10]) == 25.0
+        assert normalized_load_variance([0, 10]) == 1.0
+
+    def test_scale_invariance_of_normalized(self):
+        loads = [1, 2, 3, 4]
+        scaled = [10, 20, 30, 40]
+        assert normalized_load_variance(loads) == pytest.approx(
+            normalized_load_variance(scaled)
+        )
+
+    def test_all_zero_loads(self):
+        assert normalized_load_variance([0, 0, 0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            load_variance([])
+        with pytest.raises(ReproError):
+            normalized_load_variance([])
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini_coefficient([3, 3, 3]) == pytest.approx(0.0)
+
+    def test_total_inequality_approaches_one(self):
+        value = gini_coefficient([0] * 99 + [100])
+        assert value > 0.9
+
+    def test_all_zero(self):
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            gini_coefficient([])
+
+
+class TestEmptyBuckets:
+    def test_fraction(self):
+        buckets = [LeafBucket("001", 2), LeafBucket("001", 2)]
+        buckets[0].add(Record((0.5, 0.5)))
+        assert empty_bucket_fraction(buckets) == 0.5
+
+    def test_no_buckets_rejected(self):
+        with pytest.raises(ReproError):
+            empty_bucket_fraction([])
+
+
+class TestPeerLoads:
+    def test_counts_records_per_peer(self):
+        dht = LocalDht(4)
+        bucket = LeafBucket("001", 2)
+        bucket.add(Record((0.5, 0.5)))
+        bucket.add(Record((0.6, 0.6)))
+        dht.put("ml:00", bucket)
+        dht.put("other:x", "not a bucket")
+        loads = peer_record_loads(dht)
+        assert sum(loads) == 2
+        assert len(loads) == 4
+
+
+class TestCostMeter:
+    def test_measures_increments(self):
+        dht = LocalDht(4)
+        dht.put("warmup", 1)
+        with CostMeter(dht) as meter:
+            dht.put("a", 1, records_moved=3)
+            dht.get("a")
+        assert meter.delta.lookups == 2
+        assert meter.delta.puts == 1
+        assert meter.delta.gets == 1
+        assert meter.delta.records_moved == 3
+
+    def test_deltas_add(self):
+        a = CostDelta(1, 2, 3, 4, 5, 6)
+        b = CostDelta(10, 20, 30, 40, 50, 60)
+        total = a + b
+        assert total.lookups == 11
+        assert total.hops == 66

@@ -1,0 +1,78 @@
+"""Tests for the naive identity-mapping baseline (ablation A1)."""
+
+import random
+
+import pytest
+
+from repro.common.config import IndexConfig
+from repro.common.geometry import Region
+from repro.baselines.naive import NaiveTreeIndex
+from repro.core.index import MLightIndex
+from repro.dht.localhash import LocalDht
+from tests.conftest import brute_force_range
+
+
+def small_config():
+    return IndexConfig(
+        dims=2, max_depth=14, split_threshold=6, merge_threshold=3
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_range_queries_match_brute_force(self, seed):
+        rng = random.Random(seed)
+        index = NaiveTreeIndex(LocalDht(16), small_config())
+        points = [(rng.random(), rng.random()) for _ in range(200)]
+        for point in points:
+            index.insert(point)
+        for _ in range(8):
+            lows = (rng.random() * 0.7, rng.random() * 0.7)
+            highs = (
+                lows[0] + rng.random() * 0.3, lows[1] + rng.random() * 0.3
+            )
+            query = Region(lows, highs)
+            result = index.range_query(query)
+            assert sorted(r.key for r in result.records) == (
+                brute_force_range(points, query)
+            )
+
+    def test_delete(self):
+        index = NaiveTreeIndex(LocalDht(16), small_config())
+        index.insert((0.5, 0.5), "v")
+        assert index.delete((0.5, 0.5), "v")
+        assert not index.delete((0.5, 0.5), "v")
+
+
+class TestWhyNamingMatters:
+    """The ablation's point, as assertions."""
+
+    def test_naive_splits_move_every_record(self):
+        rng = random.Random(1)
+        points = [(rng.random(), rng.random()) for _ in range(300)]
+        config = small_config()
+        naive = NaiveTreeIndex(LocalDht(16), config)
+        mlight = MLightIndex(LocalDht(16), config)
+        for point in points:
+            naive.insert(point)
+            mlight.insert(point)
+        assert (
+            naive.dht.stats.records_moved > mlight.dht.stats.records_moved
+        )
+
+    def test_naive_lookups_linear_in_depth(self):
+        rng = random.Random(2)
+        points = [(rng.random(), rng.random()) for _ in range(300)]
+        config = small_config()
+        naive = NaiveTreeIndex(LocalDht(16), config)
+        mlight = MLightIndex(LocalDht(16), config)
+        for point in points:
+            naive.insert(point)
+            mlight.insert(point)
+        naive_probes = sum(
+            naive.lookup(point)[1] for point in points[:50]
+        )
+        mlight_probes = sum(
+            mlight.lookup(point).lookups for point in points[:50]
+        )
+        assert naive_probes > mlight_probes

@@ -1,0 +1,204 @@
+"""Property tests for the naming function — the paper's Theorems 1-5."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import InvalidLabelError
+from repro.common.labels import candidate_string, root_label, virtual_root
+from repro.core.naming import (
+    moved_child,
+    name_run_end,
+    naming_function,
+    naming_function_recursive,
+    survivor_child,
+)
+from tests.conftest import internal_nodes_of, labels_strategy, random_tree_leaves
+
+
+class TestPaperExamples:
+    """The worked examples of Section 3.4 (with # == '001')."""
+
+    @pytest.mark.parametrize(
+        "label, expected",
+        [
+            ("001" + "0101111", "001" + "0101"),
+            ("001" + "0011111", "001" + "001"),
+            ("001" + "101111", "001" + "101"),
+            ("001", "00"),
+            # From the lookup example of Section 5:
+            ("001" + "1011100001", "001" + "101110000"),
+            ("001" + "10111", "001" + "101"),
+            ("001" + "1011", "001" + "101"),
+            ("001" + "101110", "001" + "10111"),
+            # From the range-query example of Section 6:
+            ("001" + "10", "001" + "1"),
+            ("001" + "10101", "001" + "1"),
+            ("001" + "10110", "001" + "1011"),
+        ],
+    )
+    def test_2d_examples(self, label, expected):
+        assert naming_function(label, 2) == expected
+
+    def test_virtual_root_rejected(self):
+        with pytest.raises(InvalidLabelError):
+            naming_function("00", 2)
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(InvalidLabelError):
+            naming_function("11", 2)
+
+
+class TestClosedFormMatchesRecursion:
+    @given(labels_strategy(2, 16))
+    def test_2d(self, label):
+        assert naming_function(label, 2) == naming_function_recursive(label, 2)
+
+    @given(labels_strategy(3, 16))
+    def test_3d(self, label):
+        assert naming_function(label, 3) == naming_function_recursive(label, 3)
+
+    @given(st.integers(min_value=1, max_value=5), st.data())
+    def test_md(self, dims, data):
+        bits = data.draw(st.text(alphabet="01", max_size=20))
+        label = root_label(dims) + bits
+        assert naming_function(label, dims) == naming_function_recursive(
+            label, dims
+        )
+
+
+class TestNameIsProperPrefix:
+    @given(labels_strategy(2, 16))
+    def test_2d(self, label):
+        name = naming_function(label, 2)
+        assert label.startswith(name)
+        assert len(name) < len(label)
+        assert len(name) >= 2  # never shorter than the virtual root
+
+
+class TestBijection:
+    """Theorems 2 and 4: fmd maps the leaf set of *any* space kd-tree
+    bijectively onto its internal-node set (virtual root included)."""
+
+    @pytest.mark.parametrize("dims", [1, 2, 3, 4])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_bijection_on_random_trees(self, dims, seed):
+        rng = random.Random(seed)
+        leaves = random_tree_leaves(rng, dims, max_depth=10)
+        internals = internal_nodes_of(leaves, dims)
+        assert len(leaves) == len(internals)  # virtual root balances
+        names = {naming_function(leaf, dims) for leaf in leaves}
+        assert len(names) == len(leaves)  # injective
+        assert names == internals  # onto
+
+    def test_singleton_tree(self):
+        # A tree of just the root leaf maps to the virtual root.
+        assert naming_function(root_label(2), 2) == virtual_root(2)
+
+
+class TestIncrementalSplit:
+    """Theorem 5: of a splitting leaf's children, one keeps fmd(λ) and
+    the other is named λ itself."""
+
+    @given(labels_strategy(2, 16))
+    def test_2d(self, label):
+        survivor = survivor_child(label, 2)
+        moved = moved_child(label, 2)
+        assert {survivor, moved} == {label + "0", label + "1"}
+        assert naming_function(survivor, 2) == naming_function(label, 2)
+        assert naming_function(moved, 2) == label
+
+    @given(st.integers(min_value=1, max_value=5), st.data())
+    def test_md(self, dims, data):
+        bits = data.draw(st.text(alphabet="01", max_size=18))
+        label = root_label(dims) + bits
+        assert naming_function(survivor_child(label, dims), dims) == (
+            naming_function(label, dims)
+        )
+        assert naming_function(moved_child(label, dims), dims) == label
+
+
+class TestCornerPreservation:
+    """Theorems 1 and 3, at full-tree granularity.
+
+    For an internal node ω with at least two full levels beneath it,
+    the leaves covering the 2^m corners of ω's region are named exactly
+    {fmd(ω), ω, ω0, ω1, ..., ω1...1}.  (Internal nodes whose children
+    are leaves degenerate to the two names of Theorem 5.)
+    """
+
+    @pytest.mark.parametrize("dims, depth", [(2, 6), (3, 6), (1, 8)])
+    def test_full_tree_corners(self, dims, depth):
+        root = root_label(dims)
+        epsilon = 1e-9
+        from repro.common.geometry import region_of_label
+
+        extensions = [
+            format(value, f"0{dims}b") for value in range(2**dims)
+        ]
+        checked = 0
+        for level in range(0, depth - dims):
+            for code in range(2**level):
+                omega = root + format(code, f"0{level}b") if level else root
+                region = region_of_label(omega, dims)
+                corners = []
+                for mask in range(2**dims):
+                    corners.append(
+                        tuple(
+                            region.lows[d] + epsilon
+                            if mask >> d & 1 == 0
+                            else region.highs[d] - epsilon
+                            for d in range(dims)
+                        )
+                    )
+                names = {
+                    naming_function(
+                        candidate_string(corner, depth), dims
+                    )
+                    for corner in corners
+                }
+                assert len(names) == 2**dims
+                assert names == self._theorem_names(omega, dims)
+                checked += 1
+        assert checked > 0
+
+    @staticmethod
+    def _theorem_names(omega: str, dims: int) -> set[str]:
+        """The 2^m names of Theorem 3: fmd(ω), ω, and every extension
+        of ω by 1 to m-1 bits (for m=2: fmd(ω), ω, ω0, ω1)."""
+        names = {naming_function(omega, dims), omega}
+        for length in range(1, dims):
+            for value in range(2**length):
+                names.add(omega + format(value, f"0{length}b"))
+        return names
+
+
+class TestNameRuns:
+    """The contiguous-run structure behind the binary-search lookup."""
+
+    @given(labels_strategy(2, 20))
+    def test_run_members_share_the_name(self, label):
+        if len(label) < 4:
+            return
+        name = naming_function(label, 2)
+        end = name_run_end(label, len(name), 2)
+        assert end >= len(name) + 1
+        for length in range(len(name) + 1, min(end, len(label)) + 1):
+            assert naming_function(label[:length], 2) == name
+
+    @given(labels_strategy(2, 20))
+    def test_past_run_end_name_differs(self, label):
+        if len(label) < 4:
+            return
+        name = naming_function(label, 2)
+        end = name_run_end(label, len(name), 2)
+        if end + 1 <= len(label):
+            assert naming_function(label[: end + 1], 2) != name
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidLabelError):
+            name_run_end("0010", 1, 2)
+        with pytest.raises(InvalidLabelError):
+            name_run_end("0010", 4, 2)

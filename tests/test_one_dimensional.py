@@ -1,0 +1,106 @@
+"""One-dimensional operation (the LHT special case).
+
+m-LIGHT generalises the authors' earlier LHT index, which handled only
+1-D data (Section 2.1).  Setting ``dims=1`` must therefore recover a
+fully working LHT: the virtual root is a single ``'0'``, the naming
+function reduces to its 1-D form (compare bit ``i`` with bit ``i-1``),
+and interval queries behave like the paper's motivating "published
+during 2007 and 2008" predicate.
+"""
+
+import random
+
+from repro.common.config import IndexConfig
+from repro.common.geometry import Region
+from repro.common.labels import root_label, virtual_root
+from repro.core.index import MLightIndex
+from repro.core.naming import naming_function
+from repro.dht.localhash import LocalDht
+from tests.conftest import brute_force_range
+
+
+def make_index(**overrides):
+    defaults = dict(
+        dims=1, max_depth=16, split_threshold=8, merge_threshold=4
+    )
+    defaults.update(overrides)
+    return MLightIndex(LocalDht(16), IndexConfig(**defaults))
+
+
+class TestOneDimensionalLabels:
+    def test_roots(self):
+        assert virtual_root(1) == "0"
+        assert root_label(1) == "01"
+
+    def test_naming_compares_adjacent_bits(self):
+        # In 1-D, fmd strips the last bit while it equals the previous
+        # bit: runs of equal bits collapse.
+        assert naming_function("01", 1) == "0"
+        assert naming_function("0111", 1) == "0"
+        assert naming_function("01110", 1) == "0111"
+        assert naming_function("011100", 1) == "0111"
+        assert naming_function("0110", 1) == "011"
+
+    def test_bijection_on_a_small_tree(self):
+        # Leaves of the tree {010, 0110, 0111}:
+        leaves = ["010", "0110", "0111"]
+        names = {naming_function(leaf, 1) for leaf in leaves}
+        assert names == {"0", "01", "011"}
+
+
+class TestOneDimensionalIndex:
+    def test_interval_queries(self):
+        rng = random.Random(0)
+        index = make_index()
+        values = [(rng.random(),) for _ in range(400)]
+        for value in values:
+            index.insert(value)
+        for _ in range(15):
+            low = rng.random() * 0.8
+            high = low + rng.random() * 0.2
+            query = Region((low,), (min(1.0, high),))
+            got = sorted(r.key for r in index.range_query(query).records)
+            assert got == brute_force_range(values, query)
+
+    def test_years_scenario(self):
+        """The paper's 'published during 2007 and 2008', 1-D version."""
+        index = make_index()
+        year_domain = (1990.0, 2010.0)
+
+        def norm(year):
+            return (year - year_domain[0]) / (
+                year_domain[1] - year_domain[0]
+            )
+
+        for year in (1995, 2003, 2007, 2007.5, 2008, 2009):
+            index.insert((norm(year),), value=year)
+        result = index.range_query(Region((norm(2007),), (norm(2008),)))
+        assert sorted(r.value for r in result.records) == [2007, 2007.5, 2008]
+
+    def test_lookup_and_knn(self):
+        rng = random.Random(1)
+        index = make_index()
+        values = sorted((rng.random(),) for _ in range(200))
+        for value in values:
+            index.insert(value)
+        target = (0.5,)
+        looked = index.lookup(target)
+        assert looked.bucket.covers(target)
+        nearest = index.knn(target, 3)
+        brute = sorted(values, key=lambda v: abs(v[0] - 0.5))[:3]
+        assert [n.record.key for n in nearest.neighbors] == brute
+
+    def test_structure_invariants_through_churny_workload(self):
+        rng = random.Random(2)
+        index = make_index(split_threshold=5, merge_threshold=3)
+        live = []
+        for _ in range(300):
+            if live and rng.random() < 0.45:
+                victim = live.pop(rng.randrange(len(live)))
+                assert index.delete(victim)
+            else:
+                value = (rng.random(),)
+                live.append(value)
+                index.insert(value)
+        index.check_invariants()
+        assert index.total_records() == len(live)

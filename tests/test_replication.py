@@ -1,0 +1,105 @@
+"""Tests for Chord successor replication and crash survival."""
+
+import random
+
+import pytest
+
+from repro.common.config import IndexConfig
+from repro.common.errors import DhtKeyError, ReproError
+from repro.common.geometry import Region
+from repro.core.index import MLightIndex
+from repro.dht.chord import ChordDht
+
+
+class TestReplicaPlacement:
+    def test_put_stores_r_copies(self):
+        dht = ChordDht.build(12, replication=3)
+        dht.put("k", "v")
+        holders = [
+            name for name in dht.peers() if "k" in dht.node(name).store
+        ]
+        assert len(holders) == 3
+        assert dht.peer_of("k") in holders
+
+    def test_items_counts_each_key_once(self):
+        dht = ChordDht.build(12, replication=3)
+        for index in range(30):
+            dht.put(f"key-{index}", index)
+        assert sum(1 for _ in dht.items()) == 30
+
+    def test_remove_clears_all_replicas(self):
+        dht = ChordDht.build(12, replication=3)
+        dht.put("k", "v")
+        assert dht.remove("k") == "v"
+        assert all("k" not in dht.node(n).store for n in dht.peers())
+        with pytest.raises(DhtKeyError):
+            dht.remove("k")
+
+    def test_invalid_replication(self):
+        with pytest.raises(ReproError):
+            ChordDht.build(4, replication=0)
+
+
+class TestCrashSurvival:
+    def test_single_crash_loses_nothing(self):
+        dht = ChordDht.build(12, replication=3)
+        for index in range(60):
+            dht.put(f"key-{index}", index)
+        victim = dht.peer_of("key-7")  # kill an owner specifically
+        dht.fail(victim)
+        dht.stabilize_all(4)
+        for index in range(60):
+            assert dht.get(f"key-{index}") == index
+
+    def test_repair_restores_invariant(self):
+        dht = ChordDht.build(12, replication=3)
+        for index in range(60):
+            dht.put(f"key-{index}", index)
+        rng = random.Random(5)
+        for _ in range(2):
+            dht.fail(rng.choice(dht.peers()))
+            dht.stabilize_all(4)
+            dht.repair_replicas()
+        # Every key back to exactly 3 live copies on the right peers.
+        for index in range(60):
+            key = f"key-{index}"
+            holders = [
+                name for name in dht.peers()
+                if key in dht.node(name).store
+            ]
+            assert len(holders) == 3, key
+            assert dht.peer_of(key) in holders
+
+    def test_unreplicated_ring_loses_crashed_data(self):
+        """Negative control: replication=1 really is lossy."""
+        dht = ChordDht.build(12, replication=1)
+        for index in range(60):
+            dht.put(f"key-{index}", index)
+        victim = dht.peer_of("key-7")
+        dht.fail(victim)
+        dht.stabilize_all(4)
+        assert dht.get("key-7") is None
+
+
+class TestIndexOverReplicatedRing:
+    def test_index_survives_owner_crashes(self):
+        """m-LIGHT keeps answering after crashes, unchanged — the
+        over-DHT layering means resilience is purely the DHT's job."""
+        rng = random.Random(6)
+        config = IndexConfig(
+            dims=2, max_depth=14, split_threshold=10, merge_threshold=5
+        )
+        dht = ChordDht.build(12, replication=3)
+        index = MLightIndex(dht, config)
+        points = [(rng.random(), rng.random()) for _ in range(150)]
+        for point in points:
+            index.insert(point)
+        query = Region((0.2, 0.2), (0.8, 0.8))
+        before = sorted(r.key for r in index.range_query(query).records)
+
+        dht.fail(dht.peers()[4])
+        dht.stabilize_all(4)
+        dht.repair_replicas()
+
+        after = sorted(r.key for r in index.range_query(query).records)
+        assert after == before

@@ -1,0 +1,114 @@
+"""Robustness of the headline conclusions across seeds and workloads.
+
+The figure benchmarks assert shapes for one seed; these tests re-check
+the orderings for several independent dataset/workload seeds at reduced
+scale, guarding against lucky-seed conclusions.
+"""
+
+import math
+
+import pytest
+
+from repro.common.config import IndexConfig
+from repro.datasets.northeast import northeast_surrogate
+from repro.experiments import fig5, fig7
+from repro.experiments.harness import build_index
+from repro.workloads.queries import point_queries
+
+
+@pytest.mark.parametrize("seed", [101, 202, 303])
+class TestSeedRobustness:
+    def test_fig5_ordering_holds(self, seed):
+        config = IndexConfig(
+            dims=2, max_depth=24, split_threshold=25, merge_threshold=12
+        )
+        points = northeast_surrogate(2000, seed=seed)
+        series = fig5.run_datasize_sweep(points, config, samples=2)
+        by_name = {entry.scheme: entry for entry in series}
+        assert (
+            by_name["mlight"].lookups[-1]
+            < by_name["pht"].lookups[-1]
+            < by_name["dst"].lookups[-1]
+        )
+        assert (
+            by_name["mlight"].records_moved[-1]
+            < by_name["pht"].records_moved[-1]
+            < by_name["dst"].records_moved[-1]
+        )
+
+    def test_fig7_ordering_holds(self, seed):
+        config = IndexConfig(
+            dims=2, max_depth=24, split_threshold=25, merge_threshold=12
+        )
+        points = northeast_surrogate(2000, seed=seed)
+        series = fig7.run_rangequery_experiment(
+            points, config, spans=(0.1, 0.4), queries_per_span=4,
+            seed=seed,
+        )
+        by_name = {entry.variant: entry for entry in series}
+        for position in range(2):
+            assert (
+                by_name["mlight-basic"].bandwidth[position]
+                < by_name["pht"].bandwidth[position]
+                < by_name["dst"].bandwidth[position]
+            )
+            assert (
+                by_name["mlight-parallel-4"].latency[position]
+                <= by_name["mlight-parallel-2"].latency[position]
+                <= by_name["mlight-basic"].latency[position]
+            )
+
+
+class TestComplexityGuards:
+    """Quantitative regression guards on the core asymptotics."""
+
+    def test_lookup_probe_bound_on_real_data(self):
+        """Binary search over D+1 candidates: worst case stays within
+        a small constant of ceil(log2(D+1))."""
+        config = IndexConfig(
+            dims=2, max_depth=28, split_threshold=25, merge_threshold=12
+        )
+        index = build_index("mlight", config)
+        points = northeast_surrogate(5000, seed=404)
+        for point in points:
+            index.insert(point)
+        bound = math.ceil(math.log2(config.max_depth + 1)) + 3
+        worst = max(
+            index.lookup(key).lookups
+            for key in point_queries(points, 200, seed=1)
+        )
+        assert worst <= bound
+
+    def test_maintenance_cost_amortises_constant(self):
+        """Per-insert maintenance (beyond the lookup) is O(1) amortised:
+        doubling the data roughly doubles total cost."""
+        config = IndexConfig(
+            dims=2, max_depth=24, split_threshold=25, merge_threshold=12
+        )
+        points = northeast_surrogate(8000, seed=505)
+
+        def total_cost(n):
+            index = build_index("mlight", config)
+            for point in points[:n]:
+                index.insert(point)
+            return index.dht.stats.lookups
+
+        half = total_cost(4000)
+        full = total_cost(8000)
+        assert full < 2.6 * half  # superlinear blow-up would trip this
+
+    def test_range_query_cost_proportional_to_answer(self):
+        """Bandwidth scales with the buckets the answer spans, not the
+        tree size: output-sensitive querying."""
+        config = IndexConfig(
+            dims=2, max_depth=24, split_threshold=25, merge_threshold=12
+        )
+        index = build_index("mlight", config)
+        points = northeast_surrogate(8000, seed=606)
+        for point in points:
+            index.insert(point)
+        tree = index.tree_size()
+        from repro.common.geometry import Region
+
+        tiny = index.range_query(Region((0.47, 0.44), (0.49, 0.46)))
+        assert tiny.lookups < tree / 10

@@ -1,0 +1,52 @@
+"""End-to-end test of the run_all CLI at miniature scale."""
+
+import contextlib
+import io
+
+import pytest
+
+from repro.experiments.run_all import main
+
+
+@pytest.fixture(scope="module")
+def cli_output(tmp_path_factory):
+    csv_dir = tmp_path_factory.mktemp("csv")
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(
+            [
+                "--size", "400",
+                "--queries", "2",
+                "--charts",
+                "--csv-dir", str(csv_dir),
+            ]
+        )
+    return code, buffer.getvalue(), csv_dir
+
+
+class TestRunAll:
+    def test_exit_code(self, cli_output):
+        code, _, _ = cli_output
+        assert code == 0
+
+    def test_every_section_present(self, cli_output):
+        _, out, _ = cli_output
+        for token in (
+            "Figs. 5a/5b", "Figs. 5c/5d", "Figs. 6a/6b", "Figs. 7a/7b",
+            "Ablation A1", "Ablation A2", "Ablation A3", "Ablation A4",
+            "Extension E9", "Extension E10", "done in",
+        ):
+            assert token in out, token
+
+    def test_charts_rendered(self, cli_output):
+        _, out, _ = cli_output
+        assert "log10" in out  # maintenance charts are log-scale
+        assert "mlight-basic" in out
+
+    def test_csv_files_written(self, cli_output):
+        _, _, csv_dir = cli_output
+        names = {path.name for path in csv_dir.iterdir()}
+        assert "fig5_datasize_mlight.csv" in names
+        assert "fig7_mlight-basic.csv" in names
+        content = (csv_dir / "fig5_datasize_mlight.csv").read_text()
+        assert content.startswith("data_size,lookups,records_moved")

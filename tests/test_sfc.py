@@ -1,0 +1,70 @@
+"""Tests for the z-order space-filling curve."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import InvalidPointError
+from repro.common.geometry import region_of_bits
+from repro.baselines.sfc import z_decode, z_encode, z_prefix
+from tests.conftest import points_strategy
+
+
+class TestPrefix:
+    def test_prefix_matches_interleaving(self):
+        # x = 0.5 -> '1...', y = 0.0 -> '0...'
+        assert z_prefix((0.5, 0.0), 4) == "1000"
+
+    def test_prefix_cell_contains_point(self):
+        point = (0.3, 0.7)
+        for depth in range(0, 16):
+            prefix = z_prefix(point, depth)
+            assert region_of_bits(prefix, 2).contains_point(point)
+
+    @given(points_strategy(2), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60)
+    def test_prefixes_nest(self, point, depth):
+        longer = z_prefix(point, depth)
+        shorter = z_prefix(point, depth - 1)
+        assert longer.startswith(shorter)
+
+
+class TestEncodeDecode:
+    @given(points_strategy(2))
+    @settings(max_examples=80)
+    def test_roundtrip_2d(self, point):
+        bits = 12
+        code = z_encode(point, bits)
+        low_corner = z_decode(code, 2, bits)
+        # The decoded low corner is within one cell of the original.
+        for original, decoded in zip(point, low_corner):
+            assert decoded <= original < decoded + 2.0**-bits + 1e-12
+
+    @given(points_strategy(3))
+    @settings(max_examples=40)
+    def test_roundtrip_3d(self, point):
+        bits = 8
+        code = z_encode(point, bits)
+        low_corner = z_decode(code, 3, bits)
+        for original, decoded in zip(point, low_corner):
+            assert decoded <= original < decoded + 2.0**-bits + 1e-12
+
+    def test_curve_order_is_locality_ish(self):
+        """Adjacent codes decode to nearby cells (z-order property)."""
+        bits = 4
+        a = z_decode(5, 2, bits)
+        b = z_decode(6, 2, bits)
+        assert max(abs(x - y) for x, y in zip(a, b)) <= 0.5
+
+    def test_decode_range_check(self):
+        with pytest.raises(InvalidPointError):
+            z_decode(-1, 2, 4)
+        with pytest.raises(InvalidPointError):
+            z_decode(1 << 8, 2, 4)
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1))
+    def test_encode_decode_identity_on_grid(self, code):
+        """decode -> encode is the identity on exact cell corners."""
+        bits = 6
+        corner = z_decode(code, 2, bits)
+        assert z_encode(corner, bits) == code

@@ -1,0 +1,209 @@
+"""Tests for splitting strategies, including Theorem 6's optimality."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ReproError
+from repro.common.labels import root_label, split_dimension
+from repro.core.records import Record
+from repro.core.split import (
+    DataAwareSplit,
+    SplitPlan,
+    ThresholdSplit,
+    partition_records,
+)
+from tests.conftest import points_strategy
+
+
+def records_of(points):
+    return [Record(tuple(point)) for point in points]
+
+
+class TestPartition:
+    def test_splits_on_midpoint_of_split_dimension(self):
+        records = records_of([(0.1, 0.9), (0.6, 0.1), (0.5, 0.5)])
+        lower, upper = partition_records("001", 2, records)  # splits dim 0
+        assert [record.key for record in lower] == [(0.1, 0.9)]
+        assert {record.key for record in upper} == {(0.6, 0.1), (0.5, 0.5)}
+
+    def test_alternates_dimensions(self):
+        records = records_of([(0.1, 0.2), (0.1, 0.8)])
+        lower, upper = partition_records("0010", 2, records)  # splits dim 1
+        assert [record.key for record in lower] == [(0.1, 0.2)]
+        assert [record.key for record in upper] == [(0.1, 0.8)]
+
+    @given(st.lists(points_strategy(2), max_size=40), st.data())
+    def test_partition_is_exact(self, points, data):
+        label = root_label(2) + data.draw(st.text(alphabet="01", max_size=6))
+        from repro.common.geometry import region_of_label
+
+        region = region_of_label(label, 2)
+        records = [
+            Record(point) for point in points if region.contains_point(point)
+        ]
+        lower, upper = partition_records(label, 2, records)
+        assert len(lower) + len(upper) == len(records)
+        dim = split_dimension(label, 2)
+        midpoint = (region.lows[dim] + region.highs[dim]) / 2.0
+        assert all(record.key[dim] < midpoint for record in lower)
+        assert all(record.key[dim] >= midpoint for record in upper)
+
+
+class TestSplitPlanValidation:
+    def test_requires_two_leaves(self):
+        with pytest.raises(ReproError):
+            SplitPlan("001", (("0010", ()),))
+
+    def test_leaves_must_be_below_origin(self):
+        with pytest.raises(ReproError):
+            SplitPlan("0010", (("0010", ()), ("0011", ())))
+
+
+class TestThresholdSplit:
+    def test_no_split_at_or_below_threshold(self):
+        strategy = ThresholdSplit(4)
+        records = records_of([(0.1, 0.1)] * 4)
+        assert strategy.plan_split("001", records, 2, 20) is None
+
+    def test_single_level_split(self):
+        strategy = ThresholdSplit(4)
+        points = [(0.1, 0.5), (0.2, 0.5), (0.8, 0.5), (0.9, 0.5), (0.7, 0.5)]
+        plan = strategy.plan_split("001", records_of(points), 2, 20)
+        assert plan is not None
+        labels = {label for label, _ in plan.leaves}
+        assert labels == {"0010", "0011"}
+        assert plan.total_records == 5
+
+    def test_cascading_split_on_clustered_data(self):
+        """All records in one octant force a multi-level plan with
+        empty siblings — the Fig. 6b phenomenon."""
+        strategy = ThresholdSplit(4)
+        points = [(0.01 + i * 0.001, 0.01) for i in range(6)]
+        plan = strategy.plan_split("001", records_of(points), 2, 20)
+        assert plan is not None
+        loads = {label: len(records) for label, records in plan.leaves}
+        assert sum(loads.values()) == 6
+        assert any(load == 0 for load in loads.values())  # empty sibling
+        assert all(load <= 4 for load in loads.values())
+
+    def test_depth_cap_stops_recursion(self):
+        strategy = ThresholdSplit(1)
+        records = records_of([(0.1, 0.1), (0.1, 0.1), (0.1, 0.1)])
+        plan = strategy.plan_split("001", records, 2, 3)
+        if plan is not None:
+            assert all(
+                len(label) - 3 <= 3 for label, _ in plan.leaves
+            )
+
+    def test_default_merge_threshold(self):
+        strategy = ThresholdSplit(100)
+        assert strategy.merge_threshold == 50
+        assert strategy.should_merge(20, 29)
+        assert not strategy.should_merge(20, 30)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            ThresholdSplit(0)
+        with pytest.raises(ReproError):
+            ThresholdSplit(10, 10)
+
+
+class TestDataAwareSplit:
+    def test_paper_example_before_insertion(self):
+        """Fig. 3a: four points, epsilon=2 — the minimised difference
+        equals the unsplit difference, so no split is triggered."""
+        strategy = DataAwareSplit(2)
+        points = [(0.1, 0.8), (0.3, 0.9), (0.2, 0.55), (0.4, 0.60)]
+        records = records_of(points)
+        assert strategy.optimal_cost("001", records, 2, 20) <= 4.0
+        assert strategy.plan_split("001", records, 2, 20) is None
+
+    def test_paper_example_after_insertion(self):
+        """Fig. 3b: inserting (0.2, 0.2) drops the minimised difference
+        to 1 against an unsplit difference of 9 — the bucket splits
+        into three cells loaded (2, 2, 1)."""
+        strategy = DataAwareSplit(2)
+        points = [
+            (0.1, 0.8), (0.3, 0.9),   # upper-left quadrant-ish pair
+            (0.2, 0.55), (0.4, 0.60),  # mid pair
+            (0.2, 0.2),                # the new point
+        ]
+        records = records_of(points)
+        plan = strategy.plan_split("001", records, 2, 20)
+        assert plan is not None
+        loads = sorted(len(records) for _, records in plan.leaves)
+        assert sum(loads) == 5
+        assert strategy.optimal_cost("001", records, 2, 20) < (5 - 2) ** 2
+
+    def test_no_split_when_not_beneficial(self):
+        strategy = DataAwareSplit(10)
+        records = records_of([(0.1, 0.1)] * 12)  # coincident: never helps
+        assert strategy.plan_split("001", records, 2, 12) is None
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force_optimum(self, seed):
+        """Algorithm 1 equals exhaustive search over all subtrees."""
+        rng = random.Random(seed)
+        epsilon = 3
+        strategy = DataAwareSplit(epsilon)
+        points = [(rng.random(), rng.random()) for _ in range(12)]
+        records = records_of(points)
+        max_depth = 4
+
+        def brute(label, recs):
+            local = float((len(recs) - epsilon) ** 2)
+            if len(label) - 3 >= max_depth:
+                return local
+            lower, upper = partition_records(label, 2, recs)
+            return min(
+                local, brute(label + "0", lower) + brute(label + "1", upper)
+            )
+
+        assert strategy.optimal_cost(
+            "001", records, 2, max_depth
+        ) == pytest.approx(brute("001", records))
+
+    @given(st.lists(points_strategy(2), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_plan_never_increases_objective(self, points):
+        strategy = DataAwareSplit(3)
+        records = records_of(points)
+        local = float((len(records) - 3) ** 2)
+        optimal = strategy.optimal_cost("001", records, 2, 8)
+        assert optimal <= local
+        plan = strategy.plan_split("001", records, 2, 8)
+        if plan is not None:
+            realized = sum(
+                (len(leaf_records) - 3) ** 2
+                for _, leaf_records in plan.leaves
+            )
+            assert realized == pytest.approx(optimal)
+            assert realized < local
+
+    def test_merge_criterion(self):
+        strategy = DataAwareSplit(18)
+        assert strategy.should_merge(8, 7)       # (15-18)^2 < errors apart
+        assert not strategy.should_merge(18, 18)  # perfect as they are
+
+    def test_split_merge_no_oscillation(self):
+        """A split the planner chooses is never immediately merged back."""
+        strategy = DataAwareSplit(4)
+        rng = random.Random(7)
+        points = [(rng.random(), rng.random()) for _ in range(20)]
+        plan = strategy.plan_split("001", records_of(points), 2, 10)
+        if plan is None:
+            return
+        by_label = dict(plan.leaves)
+        for label, records in plan.leaves:
+            sibling = label[:-1] + ("1" if label[-1] == "0" else "0")
+            if sibling in by_label:
+                assert not strategy.should_merge(
+                    len(records), len(by_label[sibling])
+                )
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ReproError):
+            DataAwareSplit(0)

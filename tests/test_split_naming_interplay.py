@@ -1,0 +1,111 @@
+"""Properties tying split plans to the naming function.
+
+Applying a multi-level split plan relies on a telescoped form of
+Theorem 5: of the plan's leaves, *exactly one* is named ``fmd(origin)``
+(it stays under the dead bucket's key) and the rest map bijectively
+onto the plan subtree's internal nodes.  The index would raise
+``IndexCorruptionError`` if this ever failed; here we assert the
+structure directly on randomly generated plans from both strategies.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.labels import root_label
+from repro.core.naming import naming_function
+from repro.core.records import Record
+from repro.core.split import DataAwareSplit, ThresholdSplit
+from tests.conftest import points_strategy
+
+
+def plan_for(strategy, points, origin="001", dims=2, max_depth=10):
+    records = [Record(point) for point in points]
+    return strategy.plan_split(origin, records, dims, max_depth)
+
+
+def subtree_internals(origin, leaf_labels):
+    """Internal labels of the plan subtree (strictly between origin's
+    children and the leaves, origin included)."""
+    internals = set()
+    for leaf in leaf_labels:
+        for end in range(len(origin), len(leaf)):
+            internals.add(leaf[:end])
+    return internals
+
+
+class TestSurvivorUniqueness:
+    @given(st.lists(points_strategy(2), min_size=9, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_plans(self, points):
+        plan = plan_for(ThresholdSplit(8, 4), points)
+        if plan is None:
+            return
+        self._check(plan)
+
+    @given(st.lists(points_strategy(2), min_size=9, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_data_aware_plans(self, points):
+        plan = plan_for(DataAwareSplit(5), points)
+        if plan is None:
+            return
+        self._check(plan)
+
+    @staticmethod
+    def _check(plan):
+        dims = 2
+        origin_name = naming_function(plan.origin, dims)
+        names = [
+            naming_function(label, dims) for label, _ in plan.leaves
+        ]
+        # Exactly one survivor keeps the origin's key...
+        assert names.count(origin_name) == 1
+        # ...all names distinct (local bijection)...
+        assert len(set(names)) == len(names)
+        # ...and the non-survivors map exactly onto the plan subtree's
+        # internal nodes (origin included, per the telescoped Theorem 5).
+        leaf_labels = [label for label, _ in plan.leaves]
+        internals = subtree_internals(plan.origin, leaf_labels)
+        others = set(names) - {origin_name}
+        assert others <= internals
+        assert len(others) == len(plan.leaves) - 1
+        # The subtree has exactly len(leaves) - 1 internal nodes at or
+        # below the origin, and every one of them receives a bucket.
+        at_or_below = {
+            label for label in internals
+            if label.startswith(plan.origin)
+        }
+        assert others == at_or_below
+
+
+class TestPlanGeometry:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_leaves_partition_records_exactly(self, seed):
+        rng = random.Random(seed)
+        points = [(rng.random(), rng.random()) for _ in range(40)]
+        plan = plan_for(ThresholdSplit(6, 3), points)
+        if plan is None:
+            return
+        from repro.common.geometry import region_of_label
+
+        for label, records in plan.leaves:
+            region = region_of_label(label, 2)
+            for record in records:
+                assert region.contains_point(record.key)
+        total = sum(len(records) for _, records in plan.leaves)
+        assert total == len(points)
+
+    @given(st.lists(points_strategy(3), min_size=9, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_3d_plans_survive_the_same_checks(self, points):
+        strategy = ThresholdSplit(8, 4)
+        records = [Record(point) for point in points]
+        plan = strategy.plan_split(root_label(3), records, 3, 9)
+        if plan is None:
+            return
+        names = [naming_function(label, 3) for label, _ in plan.leaves]
+        origin_name = naming_function(plan.origin, 3)
+        assert names.count(origin_name) == 1
+        assert len(set(names)) == len(names)

@@ -1,0 +1,161 @@
+"""Model-based (stateful) testing of the indexes with hypothesis.
+
+A RuleBasedStateMachine drives random interleavings of inserts,
+deletes, lookups and range queries against an index while maintaining a
+brute-force model; every query answer must match the model exactly, and
+the m-LIGHT structural invariants must hold at checkpoints.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.common.config import IndexConfig
+from repro.common.geometry import Region
+from repro.core.index import MLightIndex
+from repro.baselines.pht import PhtIndex
+from repro.dht.localhash import LocalDht
+
+COORD = st.floats(
+    min_value=0.0, max_value=1.0, exclude_max=True,
+    allow_nan=False, allow_infinity=False,
+)
+POINT = st.tuples(COORD, COORD)
+
+
+def _small_config():
+    return IndexConfig(
+        dims=2, max_depth=12, split_threshold=5, merge_threshold=3
+    )
+
+
+class MLightMachine(RuleBasedStateMachine):
+    """m-LIGHT vs a list-of-points model."""
+
+    def __init__(self):
+        super().__init__()
+        self.index = MLightIndex(LocalDht(8), _small_config())
+        self.model: list[tuple] = []
+        self.steps = 0
+
+    @rule(point=POINT)
+    def insert(self, point):
+        self.index.insert(point)
+        self.model.append(point)
+        self.steps += 1
+
+    @rule(data=st.data())
+    @precondition(lambda self: self.model)
+    def delete_existing(self, data):
+        point = data.draw(st.sampled_from(self.model))
+        assert self.index.delete(point)
+        self.model.remove(point)
+        self.steps += 1
+
+    @rule(point=POINT)
+    def delete_probably_absent(self, point):
+        present = point in self.model
+        assert self.index.delete(point) == present
+        if present:
+            self.model.remove(point)
+
+    @rule(data=st.data())
+    @precondition(lambda self: self.model)
+    def lookup_existing(self, data):
+        point = data.draw(st.sampled_from(self.model))
+        bucket = self.index.lookup(point).bucket
+        assert bucket.covers(point)
+        assert any(record.key == point for record in bucket.records)
+
+    @rule(low=POINT, extent=st.tuples(
+        st.floats(0.0, 0.5, allow_nan=False),
+        st.floats(0.0, 0.5, allow_nan=False),
+    ), lookahead=st.sampled_from([1, 2, 4]))
+    def range_query(self, low, extent, lookahead):
+        highs = tuple(
+            min(1.0, value + span) for value, span in zip(low, extent)
+        )
+        query = Region(low, highs)
+        got = sorted(
+            record.key
+            for record in self.index.range_query(
+                query, lookahead=lookahead
+            ).records
+        )
+        expected = sorted(
+            point for point in self.model
+            if query.contains_point_closed(point)
+        )
+        assert got == expected
+
+    @invariant()
+    def record_count_matches(self):
+        assert self.index.total_records() == len(self.model)
+
+    @invariant()
+    def structure_is_sound(self):
+        if self.steps % 7 == 0:  # full check is O(n^2); sample it
+            self.index.check_invariants()
+
+
+class PhtMachine(RuleBasedStateMachine):
+    """PHT vs the same model (baseline deserves the same rigour)."""
+
+    def __init__(self):
+        super().__init__()
+        self.index = PhtIndex(LocalDht(8), _small_config())
+        self.model: list[tuple] = []
+
+    @rule(point=POINT)
+    def insert(self, point):
+        self.index.insert(point)
+        self.model.append(point)
+
+    @rule(data=st.data())
+    @precondition(lambda self: self.model)
+    def delete_existing(self, data):
+        point = data.draw(st.sampled_from(self.model))
+        assert self.index.delete(point)
+        self.model.remove(point)
+
+    @rule(low=POINT, extent=st.tuples(
+        st.floats(0.0, 0.5, allow_nan=False),
+        st.floats(0.0, 0.5, allow_nan=False),
+    ))
+    def range_query(self, low, extent):
+        highs = tuple(
+            min(1.0, value + span) for value, span in zip(low, extent)
+        )
+        query = Region(low, highs)
+        got = sorted(
+            record.key
+            for record in self.index.range_query(query).records
+        )
+        expected = sorted(
+            point for point in self.model
+            if query.contains_point_closed(point)
+        )
+        assert got == expected
+
+    @invariant()
+    def record_count_matches(self):
+        assert self.index.total_records() == len(self.model)
+
+
+TestMLightStateful = pytest.mark.filterwarnings("ignore")(
+    MLightMachine.TestCase
+)
+TestMLightStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+TestPhtStateful = PhtMachine.TestCase
+TestPhtStateful.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)

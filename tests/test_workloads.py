@@ -1,0 +1,110 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.dht.localhash import LocalDht
+from repro.core.index import MLightIndex
+from repro.common.config import IndexConfig
+from repro.workloads.queries import point_queries, uniform_range_queries
+from repro.workloads.traces import (
+    Operation,
+    apply_trace,
+    insert_trace,
+    mixed_trace,
+)
+
+
+class TestRangeQueries:
+    def test_span_is_area(self):
+        queries = uniform_range_queries(50, span=0.09, seed=1)
+        for query in queries:
+            assert query.volume() == pytest.approx(0.09, rel=0.05)
+
+    def test_inside_unit_cube(self):
+        for query in uniform_range_queries(100, span=0.25, seed=2):
+            assert all(low >= 0.0 for low in query.lows)
+            assert all(high <= 1.0 for high in query.highs)
+
+    def test_no_jitter_gives_squares(self):
+        for query in uniform_range_queries(
+            20, span=0.04, aspect_jitter=0.0, seed=3
+        ):
+            assert query.side(0) == pytest.approx(query.side(1))
+
+    def test_deterministic(self):
+        assert uniform_range_queries(5, 0.1, seed=4) == (
+            uniform_range_queries(5, 0.1, seed=4)
+        )
+
+    def test_3d(self):
+        queries = uniform_range_queries(20, span=0.008, dims=3, seed=5)
+        for query in queries:
+            assert query.dims == 3
+            assert query.volume() == pytest.approx(0.008, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            uniform_range_queries(5, span=0.0)
+        with pytest.raises(ReproError):
+            uniform_range_queries(5, span=0.1, aspect_jitter=1.0)
+
+
+class TestPointQueries:
+    def test_samples_from_dataset(self):
+        points = [(0.1, 0.1), (0.2, 0.2)]
+        sampled = point_queries(points, 20, seed=6)
+        assert len(sampled) == 20
+        assert set(sampled) <= set(points)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ReproError):
+            point_queries([], 5)
+
+
+class TestTraces:
+    def test_insert_trace(self):
+        trace = insert_trace([(0.1, 0.1), (0.2, 0.2)], value="v")
+        assert [op.kind for op in trace] == ["insert", "insert"]
+        assert trace[0].value == "v"
+
+    def test_mixed_trace_inserts_everything(self):
+        points = [(i / 100.0, i / 100.0) for i in range(50)]
+        trace = mixed_trace(points, delete_fraction=0.3, seed=7)
+        inserts = [op for op in trace if op.kind == "insert"]
+        deletes = [op for op in trace if op.kind == "delete"]
+        assert len(inserts) == 50
+        assert deletes  # some deletions interleaved
+        # Every deletion targets a previously inserted, still-live key.
+        live = set()
+        for op in trace:
+            if op.kind == "insert":
+                live.add(op.key)
+            else:
+                assert op.key in live
+                live.remove(op.key)
+
+    def test_mixed_trace_validation(self):
+        with pytest.raises(ReproError):
+            mixed_trace([(0.1, 0.1)], delete_fraction=1.0)
+
+    def test_apply_trace(self):
+        index = MLightIndex(
+            LocalDht(8),
+            IndexConfig(dims=2, max_depth=12, split_threshold=8,
+                        merge_threshold=4),
+        )
+        points = [(i / 20.0, i / 20.0) for i in range(10)]
+        trace = mixed_trace(points, delete_fraction=0.2, seed=8)
+        inserts, deletes = apply_trace(index, trace)
+        assert inserts == 10
+        assert index.total_records() == inserts - deletes
+
+    def test_apply_trace_rejects_unknown_op(self):
+        index = MLightIndex(
+            LocalDht(8),
+            IndexConfig(dims=2, max_depth=12, split_threshold=8,
+                        merge_threshold=4),
+        )
+        with pytest.raises(ReproError):
+            apply_trace(index, [Operation("upsert", (0.1, 0.1))])
