@@ -2,10 +2,13 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full experiments experiments-full clean
+.PHONY: install lint test bench bench-full experiments experiments-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks examples
 
 test:
 	$(PYTHON) -m pytest tests/

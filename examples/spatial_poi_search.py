@@ -11,6 +11,7 @@ Run with::
 """
 
 import sys
+from dataclasses import replace
 
 from repro import IndexConfig, LocalDht, MLightIndex, Region
 from repro.datasets.northeast import northeast_surrogate
@@ -18,10 +19,7 @@ from repro.metrics.loadbalance import empty_bucket_fraction
 
 def build(strategy: str, points, config: IndexConfig) -> MLightIndex:
     dht = LocalDht(n_peers=128, virtual_nodes=16)
-    if strategy == "data-aware":
-        index = MLightIndex.with_data_aware_splitting(dht, config)
-    else:
-        index = MLightIndex(dht, config)
+    index = MLightIndex(dht, replace(config, strategy=strategy))
     for position, point in enumerate(points):
         index.insert(point, value=f"address-{position}")
     return index

@@ -20,11 +20,17 @@ Quickstart::
 
 from repro.common.config import IndexConfig
 from repro.common.errors import ReproError
-from repro.common.geometry import Point, Region, unit_region
+from repro.common.geometry import Point, Region, as_region, unit_region
 from repro.core.bucket import LeafBucket
 from repro.core.bulkload import bulk_load
+from repro.core.cache import LeafCache
 from repro.core.index import MLightIndex
 from repro.core.records import Record
+from repro.core.results import (
+    KnnResult,
+    LookupResult,
+    RangeQueryResult,
+)
 from repro.core.split import DataAwareSplit, ThresholdSplit
 from repro.dht.chord import ChordDht
 from repro.dht.kademlia import KademliaDht
@@ -38,11 +44,16 @@ __all__ = [
     "ReproError",
     "Point",
     "Region",
+    "as_region",
     "unit_region",
     "LeafBucket",
+    "LeafCache",
     "bulk_load",
     "MLightIndex",
     "Record",
+    "KnnResult",
+    "LookupResult",
+    "RangeQueryResult",
     "DataAwareSplit",
     "ThresholdSplit",
     "ChordDht",

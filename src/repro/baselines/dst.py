@@ -42,7 +42,7 @@ from repro.common.geometry import (
 )
 from repro.common.labels import interleave
 from repro.core.records import Record
-from repro.core.rangequery import RangeQueryResult
+from repro.core.results import RangeQueryBuilder, RangeQueryResult
 from repro.baselines.interface import OverDhtIndex
 from repro.dht.api import Dht
 
@@ -155,17 +155,17 @@ class DstIndex(OverDhtIndex):
         """Decompose *query* into canonical nodes and probe them all in
         parallel; descend past saturated nodes (one extra round per
         level of saturation)."""
-        result = RangeQueryResult()
+        builder = RangeQueryBuilder()
         canonical: list[str] = []
         self._decompose(query, "", region_of_bits("", self._dims), canonical)
         frontier = canonical
         round_number = 0
         while frontier:
             round_number += 1
-            result.rounds = max(result.rounds, round_number)
+            builder.rounds = max(builder.rounds, round_number)
             next_frontier: list[str] = []
             for prefix in frontier:
-                result.lookups += 1
+                builder.lookups += 1
                 node = self.dht.get(_key(prefix))
                 if node is None:
                     continue  # empty region: nothing stored there
@@ -176,9 +176,9 @@ class DstIndex(OverDhtIndex):
                         ):
                             next_frontier.append(child)
                     continue
-                self._collect(node, query, result)
+                self._collect(node, query, builder)
             frontier = next_frontier
-        return result
+        return builder.build()
 
     def _decompose(
         self, query: Region, prefix: str, cell: Region, out: list[str]
@@ -201,12 +201,12 @@ class DstIndex(OverDhtIndex):
         self._decompose(query, prefix + "1", upper, out)
 
     def _collect(
-        self, node: DstNode, query: Region, result: RangeQueryResult
+        self, node: DstNode, query: Region, builder: RangeQueryBuilder
     ) -> None:
-        if node.prefix in result.visited_leaves:
+        if node.prefix in builder.visited_leaves:
             return
-        result.visited_leaves.add(node.prefix)
-        result.records.extend(
+        builder.visited_leaves.add(node.prefix)
+        builder.records.extend(
             record
             for record in node.records
             if query.contains_point_closed(record.key)

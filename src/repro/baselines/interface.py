@@ -13,7 +13,7 @@ from abc import ABC, abstractmethod
 from typing import Any
 
 from repro.common.geometry import Point, Region
-from repro.core.rangequery import RangeQueryResult
+from repro.core.results import RangeQueryResult
 from repro.dht.api import Dht
 
 

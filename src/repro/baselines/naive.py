@@ -22,7 +22,7 @@ from repro.common.geometry import Point, Region, check_point
 from repro.common.labels import candidate_string, root_label
 from repro.core.bucket import LeafBucket
 from repro.core.records import Record
-from repro.core.rangequery import RangeQueryResult
+from repro.core.results import RangeQueryBuilder, RangeQueryResult
 from repro.core.split import ThresholdSplit
 from repro.baselines.interface import OverDhtIndex
 from repro.dht.api import Dht
@@ -99,20 +99,18 @@ class NaiveTreeIndex(OverDhtIndex):
         """Root-anchored tree descent (each visited label is one get)."""
         from repro.common.geometry import query_overlaps_cell, region_of_label
 
-        result = RangeQueryResult()
+        builder = RangeQueryBuilder()
         frontier = [root_label(self._dims)]
         round_number = 0
         while frontier:
             round_number += 1
-            result.rounds = max(result.rounds, round_number)
+            builder.rounds = max(builder.rounds, round_number)
             next_frontier: list[str] = []
             for label in frontier:
-                result.lookups += 1
+                builder.lookups += 1
                 bucket = self.dht.get(_key(label))
                 if bucket is not None:
-                    if label not in result.visited_leaves:
-                        result.visited_leaves.add(label)
-                        result.records.extend(bucket.matching(query))
+                    builder.collect(label, bucket.matching(query))
                     continue
                 for child in (label + "0", label + "1"):
                     if query_overlaps_cell(
@@ -120,7 +118,7 @@ class NaiveTreeIndex(OverDhtIndex):
                     ):
                         next_frontier.append(child)
             frontier = next_frontier
-        return result
+        return builder.build()
 
     def total_records(self) -> int:
         return sum(

@@ -35,7 +35,7 @@ from repro.common.geometry import (
 )
 from repro.common.labels import interleave
 from repro.core.records import Record
-from repro.core.rangequery import RangeQueryResult
+from repro.core.results import RangeQueryBuilder, RangeQueryResult
 from repro.baselines.interface import OverDhtIndex
 from repro.dht.api import Dht
 
@@ -251,7 +251,7 @@ class PhtIndex(OverDhtIndex):
         leaf.  Internal probes return no data (PHT's routing-only
         internal nodes), which is exactly why its bandwidth exceeds
         m-LIGHT's."""
-        result = RangeQueryResult()
+        builder = RangeQueryBuilder()
         lca = ""
         while len(lca) < self._depth:
             extended = None
@@ -269,23 +269,23 @@ class PhtIndex(OverDhtIndex):
         round_number = 0
         while frontier:
             round_number += 1
-            result.rounds = max(result.rounds, round_number)
+            builder.rounds = max(builder.rounds, round_number)
             next_frontier: list[str] = []
             for prefix in frontier:
-                result.lookups += 1
+                builder.lookups += 1
                 node = self.dht.get(_key(prefix))
                 if node is None:
                     # Only possible at the LCA probe: the covering leaf
                     # is an ancestor — find it by a point lookup.
                     leaf, probes = self.lookup(query.lows)
-                    result.lookups += probes
-                    result.rounds = max(
-                        result.rounds, round_number + probes
+                    builder.lookups += probes
+                    builder.rounds = max(
+                        builder.rounds, round_number + probes
                     )
-                    self._collect(leaf, query, result)
+                    self._collect(leaf, query, builder)
                     continue
                 if node.is_leaf:
-                    self._collect(node, query, result)
+                    self._collect(node, query, builder)
                     continue
                 for child in (prefix + "0", prefix + "1"):
                     if query_overlaps_cell(
@@ -293,7 +293,7 @@ class PhtIndex(OverDhtIndex):
                     ):
                         next_frontier.append(child)
             frontier = next_frontier
-        return result
+        return builder.build()
 
     def range_query_scan(self, query: Region) -> RangeQueryResult:
         """PHT's alternative range algorithm: linked-leaf scan.
@@ -306,10 +306,10 @@ class PhtIndex(OverDhtIndex):
         more leaves than the trie descent — included for completeness
         and to quantify that gap.
         """
-        result = RangeQueryResult()
+        builder = RangeQueryBuilder()
         leaf, probes = self.lookup(query.lows)
-        result.lookups += probes
-        result.rounds += probes
+        builder.lookups += probes
+        builder.rounds += probes
         # Scan forward until the current leaf's prefix is past the
         # z-position of the query's high corner.
         high_bits = interleave(
@@ -318,7 +318,7 @@ class PhtIndex(OverDhtIndex):
         )
         current: PhtNode | None = leaf
         while current is not None:
-            self._collect(current, query, result)
+            self._collect(current, query, builder)
             if current.prefix and current.prefix > high_bits[: len(
                 current.prefix
             )]:
@@ -326,25 +326,27 @@ class PhtIndex(OverDhtIndex):
             next_prefix = current.next_leaf
             if next_prefix is None:
                 break
-            result.lookups += 1
-            result.rounds += 1
+            builder.lookups += 1
+            builder.rounds += 1
             current = self.dht.get(_key(next_prefix))
             if current is None:
                 raise IndexCorruptionError(
                     f"dangling PHT leaf pointer to {next_prefix!r}"
                 )
-        return result
+        return builder.build()
 
     def _collect(
-        self, leaf: PhtNode, query: Region, result: RangeQueryResult
+        self, leaf: PhtNode, query: Region, builder: RangeQueryBuilder
     ) -> None:
-        if leaf.prefix in result.visited_leaves:
+        if leaf.prefix in builder.visited_leaves:
             return
-        result.visited_leaves.add(leaf.prefix)
-        result.records.extend(
-            record
-            for record in leaf.records
-            if query.contains_point_closed(record.key)
+        builder.collect(
+            leaf.prefix,
+            (
+                record
+                for record in leaf.records
+                if query.contains_point_closed(record.key)
+            ),
         )
 
     # ------------------------------------------------------------------

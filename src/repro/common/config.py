@@ -29,6 +29,16 @@ class IndexConfig:
             suggests ``theta_split / 2``).
         expected_load: ``epsilon`` — the expected per-bucket load of the
             data-aware splitting strategy (Section 4.2; paper uses 70).
+        strategy: which maintenance strategy the index builds —
+            ``"threshold"`` (Section 4.1, uses ``split_threshold`` /
+            ``merge_threshold``) or ``"data-aware"`` (Section 4.2, uses
+            ``expected_load``).  Passing an explicit ``SplitStrategy``
+            to :class:`~repro.core.index.MLightIndex` overrides this.
+        cache_capacity: size of the client-side leaf cache
+            (:mod:`repro.core.cache`); ``0`` disables caching, keeping
+            every lookup on the paper's cold binary-search path (the
+            default, so metered costs match the paper's model unless a
+            cache is asked for).
     """
 
     dims: int = 2
@@ -36,6 +46,10 @@ class IndexConfig:
     split_threshold: int = 100
     merge_threshold: int = 50
     expected_load: int = 70
+    strategy: str = "threshold"
+    cache_capacity: int = 0
+
+    STRATEGIES = ("threshold", "data-aware")
 
     def __post_init__(self) -> None:
         if self.dims < 1:
@@ -51,3 +65,12 @@ class IndexConfig:
             )
         if self.expected_load < 1:
             raise ReproError("expected_load (epsilon) must be >= 1")
+        if self.strategy not in self.STRATEGIES:
+            raise ReproError(
+                f"unknown strategy {self.strategy!r}; expected one of "
+                f"{self.STRATEGIES}"
+            )
+        if self.cache_capacity < 0:
+            raise ReproError(
+                "cache_capacity must be >= 0 (0 disables the cache)"
+            )

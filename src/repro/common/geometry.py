@@ -154,6 +154,37 @@ def unit_region(dims: int) -> Region:
     return Region((0.0,) * dims, (1.0,) * dims)
 
 
+#: What query entry points accept wherever a region is expected: a
+#: ready :class:`Region`, or a ``(lows, highs)`` pair of coordinate
+#: sequences.
+RegionLike = Region | tuple[Sequence[float], Sequence[float]]
+
+
+def as_region(value: RegionLike) -> Region:
+    """Coerce *value* to a :class:`Region`.
+
+    Accepts a ``Region`` unchanged, or a 2-element ``(lows, highs)``
+    pair of per-dimension coordinate sequences — the normalisation used
+    by every query entry point (``range_query``, aggregation), so call
+    sites can pass plain tuples without importing geometry.
+    """
+    if isinstance(value, Region):
+        return value
+    if (
+        isinstance(value, (tuple, list))
+        and len(value) == 2
+        and isinstance(value[0], Sequence)
+        and isinstance(value[1], Sequence)
+        and not isinstance(value[0], str)
+        and not isinstance(value[1], str)
+    ):
+        return Region(tuple(value[0]), tuple(value[1]))
+    raise InvalidRegionError(
+        f"cannot interpret {value!r} as a region; pass a Region or a "
+        "(lows, highs) pair of coordinate sequences"
+    )
+
+
 def query_overlaps_cell(query: Region, cell: Region) -> bool:
     """True when a closed *query* can contain a data key of the
     half-open *cell*.

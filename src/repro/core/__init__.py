@@ -13,6 +13,7 @@ Public API:
 
 from repro.core.records import Record
 from repro.core.bucket import LeafBucket
+from repro.core.cache import LeafCache
 from repro.core.naming import naming_function, naming_function_recursive
 from repro.core.split import (
     SplitPlan,
@@ -21,14 +22,20 @@ from repro.core.split import (
     DataAwareSplit,
 )
 from repro.core.bulkload import bulk_load
-from repro.core.knn import KnnEngine, KnnResult, Neighbor
-from repro.core.lookup import LookupResult
-from repro.core.rangequery import RangeQueryResult
-from repro.core.index import MLightIndex
+from repro.core.knn import KnnEngine
+from repro.core.results import (
+    KnnResult,
+    LookupResult,
+    Neighbor,
+    RangeQueryBuilder,
+    RangeQueryResult,
+)
+from repro.core.index import MLightIndex, build_strategy
 
 __all__ = [
     "Record",
     "LeafBucket",
+    "LeafCache",
     "naming_function",
     "naming_function_recursive",
     "SplitPlan",
@@ -36,10 +43,12 @@ __all__ = [
     "ThresholdSplit",
     "DataAwareSplit",
     "bulk_load",
+    "build_strategy",
     "KnnEngine",
     "KnnResult",
     "Neighbor",
     "LookupResult",
+    "RangeQueryBuilder",
     "RangeQueryResult",
     "MLightIndex",
 ]

@@ -17,8 +17,9 @@ import math
 from collections.abc import Callable
 from dataclasses import dataclass
 
-from repro.common.geometry import Region
-from repro.core.rangequery import RangeQueryEngine, RangeQueryResult
+from repro.common.geometry import RegionLike
+from repro.core.rangequery import RangeQueryEngine
+from repro.core.results import RangeQueryResult
 from repro.core.records import Record
 from repro.dht.api import Dht
 
@@ -60,7 +61,7 @@ class Aggregate:
         return self.total / self.count
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class AggregateResult:
     """Aggregate answer plus the paper's two cost measures."""
 
@@ -78,7 +79,7 @@ class AggregateQueryEngine:
 
     def query(
         self,
-        query: Region,
+        query: RegionLike,
         value_of: Callable[[Record], float] | None = None,
         lookahead: int = 1,
     ) -> AggregateResult:
@@ -110,7 +111,7 @@ def _default_value(record: Record) -> float:
     return 1.0
 
 
-def count_in(index, query: Region, lookahead: int = 1) -> AggregateResult:
+def count_in(index, query: RegionLike, lookahead: int = 1) -> AggregateResult:
     """COUNT over *query* on any m-LIGHT index."""
     engine = AggregateQueryEngine(
         index.dht, index.dims, index.max_depth
@@ -121,7 +122,7 @@ def count_in(index, query: Region, lookahead: int = 1) -> AggregateResult:
 
 def sum_in(
     index,
-    query: Region,
+    query: RegionLike,
     value_of: Callable[[Record], float] | None = None,
     lookahead: int = 1,
 ) -> AggregateResult:

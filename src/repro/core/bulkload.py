@@ -59,7 +59,9 @@ def bulk_load(
     """Build and place an m-LIGHT tree for *items* on *dht*.
 
     *items* are ``Record`` objects, ``(key, value)`` pairs, or bare
-    keys.  Returns ``(label, load)`` for every placed bucket.  The DHT
+    keys — normalised by :meth:`Record.coerce`, the same rule
+    ``MLightIndex.insert_many`` uses.  Returns ``(label, load)`` for
+    every placed bucket.  The DHT
     must not already carry an m-LIGHT tree (bulk loading replaces, it
     does not merge).
 
@@ -82,18 +84,7 @@ def bulk_load(
             "from scratch"
         )
 
-    records = []
-    for item in items:
-        if isinstance(item, Record):
-            records.append(Record.make(item.key, item.value, config.dims))
-        elif (
-            isinstance(item, tuple)
-            and len(item) == 2
-            and isinstance(item[0], (tuple, list))
-        ):
-            records.append(Record.make(item[0], item[1], dims=config.dims))
-        else:
-            records.append(Record.make(item, dims=config.dims))
+    records = [Record.coerce(item, dims=config.dims) for item in items]
 
     leaves = plan_bulk_tree(records, config, strategy)
     placed = []

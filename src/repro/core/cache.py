@@ -1,0 +1,143 @@
+"""Client-side leaf cache: O(1) warm lookups over the Section-5 search.
+
+Every cold :func:`~repro.core.lookup.lookup_point` pays a binary search
+over the candidate set — O(log D) DHT-gets (ablation A2 meters it).
+Peers that repeatedly touch the same region can do much better: they
+remember the leaf labels they saw and, on the next lookup, probe the
+remembered leaf's name *first*.  Because the space partitioning is data
+independent, a cached label is enough to recompute its DHT key locally
+(``fmd`` is a pure function), so a cache entry is just the label string.
+
+Correctness does not depend on freshness.  A proposal is only ever a
+*hint*: the hinted probe is a metered DHT-get like any other, and the
+caller trusts nothing but the probe's outcome —
+
+* the returned bucket covers the point → done, one DHT-get;
+* the probe missed, or returned a non-covering bucket → the hint was
+  stale (the leaf split or merged away), but the outcome still *proves*
+  a bound on the target label's length under the current tree, so the
+  fallback binary search restarts with a tightened interval.
+
+Staleness therefore costs one extra probe, never a wrong answer — the
+same discipline as the paper's cost model, where every piece of remote
+state an operation relies on is paid for with a DHT-lookup.
+
+Bounding and invalidation:
+
+* the cache is LRU-bounded (``capacity`` entries);
+* :meth:`LeafCache.bump_generation` invalidates every current entry in
+  O(1) — entries are tagged with the generation that observed them and
+  stale-generation entries are dropped lazily on access.  Clients use
+  it when they learn the tree churned wholesale (e.g. after a bulk
+  load or a churn episode) without enumerating labels.
+
+Hit/stale/miss counters are metered on the shared
+:class:`~repro.dht.api.DhtStats` by the lookup engine, next to the
+paper's cost counters, so experiments read them from one place.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.errors import ReproError
+
+#: Default number of leaf labels a client remembers.
+DEFAULT_CACHE_CAPACITY = 256
+
+
+class LeafCache:
+    """LRU-bounded map of recently observed leaf labels.
+
+    Entries are leaf labels (plain bit strings); values are the
+    generation tag current when the label was observed.  The cache is
+    a pure data structure: it issues no DHT traffic and keeps no cost
+    counters of its own.
+    """
+
+    __slots__ = ("_capacity", "_entries", "_generation")
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ReproError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self._capacity = capacity
+        self._entries: OrderedDict[str, int] = OrderedDict()
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of labels retained."""
+        return self._capacity
+
+    @property
+    def generation(self) -> int:
+        """Current generation tag; bumping it invalidates all entries."""
+        return self._generation
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, label: str) -> bool:
+        return self._entries.get(label) == self._generation
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def observe(self, label: str) -> None:
+        """Record *label* as a currently existing leaf (most recent)."""
+        entries = self._entries
+        if label in entries:
+            entries.move_to_end(label)
+        entries[label] = self._generation
+        while len(entries) > self._capacity:
+            entries.popitem(last=False)
+
+    def forget(self, label: str) -> None:
+        """Drop *label* (a probe proved it is no longer a leaf)."""
+        self._entries.pop(label, None)
+
+    def bump_generation(self) -> None:
+        """Invalidate every current entry in O(1)."""
+        self._generation += 1
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Proposals
+    # ------------------------------------------------------------------
+
+    def propose(
+        self, candidate: str, low: int, high: int
+    ) -> str | None:
+        """Deepest cached label covering the point of *candidate*.
+
+        A label covers the point iff it is a prefix of the candidate
+        string, so the proposal is the longest cached prefix whose
+        length lies in the caller's open search interval
+        ``[low, high]`` (hints outside the interval cannot be the
+        target under the caller's already-proven bounds).  Returns
+        ``None`` when nothing useful is cached — the caller falls back
+        to the cold binary search.
+        """
+        entries = self._entries
+        generation = self._generation
+        for length in range(min(high, len(candidate)), low - 1, -1):
+            label = candidate[:length]
+            tag = entries.get(label)
+            if tag is None:
+                continue
+            if tag != generation:
+                del entries[label]  # lazy generation invalidation
+                continue
+            entries.move_to_end(label)
+            return label
+        return None

@@ -33,7 +33,8 @@ from repro.common.labels import branch_nodes_between
 from repro.core.keys import bucket_key
 from repro.core.lookup import lookup_point
 from repro.core.naming import naming_function
-from repro.core.rangequery import RangeQueryResult, compute_lca
+from repro.core.rangequery import compute_lca
+from repro.core.results import RangeQueryBuilder, RangeQueryResult
 from repro.core.records import Record
 from repro.dht.api import Dht
 from repro.net.message import Message
@@ -178,9 +179,9 @@ class DistributedQueryRuntime:
         records, visited, rounds = self.forward(
             initiator, lca, query, query
         )
-        result = RangeQueryResult()
-        result.records = records
-        result.visited_leaves = set(visited)
-        result.rounds = rounds
-        result.lookups = self.dht.stats.lookups - lookups_before
-        return result
+        builder = RangeQueryBuilder()
+        builder.records.extend(records)
+        builder.visited_leaves.update(visited)
+        builder.rounds = rounds
+        builder.lookups = self.dht.stats.lookups - lookups_before
+        return builder.build()

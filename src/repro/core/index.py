@@ -12,23 +12,33 @@ property of Theorem 5:
   the bucket stored at the parent's name, transferring exactly one
   bucket.
 
+The split strategy comes from ``config.strategy`` (``"threshold"`` or
+``"data-aware"``) unless an explicit :class:`SplitStrategy` instance
+overrides it, and ``config.cache_capacity > 0`` equips the index with a
+client-side :class:`~repro.core.cache.LeafCache`: every operation's
+point lookup then tries one hinted probe before the Section-5 binary
+search, and range queries warm the cache with every leaf they visit.
+
 Typical use::
 
     from repro import LocalDht, MLightIndex, IndexConfig, Region
 
-    index = MLightIndex(LocalDht(128), IndexConfig(dims=2, max_depth=28))
+    config = IndexConfig(dims=2, max_depth=28, cache_capacity=256)
+    index = MLightIndex(LocalDht(128), config)
     index.insert((0.2, 0.4), "concert")
     hits = index.range_query(Region((0.1, 0.3), (0.3, 0.5))).records
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable, Iterator
+from dataclasses import replace
 from typing import Any
 
 from repro.common.config import IndexConfig
 from repro.common.errors import IndexCorruptionError
-from repro.common.geometry import Point, Region, check_point
+from repro.common.geometry import Point, RegionLike, as_region, check_point
 from repro.common.labels import (
     parent,
     root_label,
@@ -36,12 +46,14 @@ from repro.common.labels import (
     virtual_root,
 )
 from repro.core.bucket import LeafBucket
+from repro.core.cache import LeafCache
 from repro.core.keys import bucket_key, name_from_key
-from repro.core.knn import KnnEngine, KnnResult
-from repro.core.lookup import LookupResult, lookup_point
+from repro.core.knn import KnnEngine
+from repro.core.lookup import lookup_point
 from repro.core.naming import naming_function
-from repro.core.rangequery import RangeQueryEngine, RangeQueryResult
+from repro.core.rangequery import RangeQueryEngine
 from repro.core.records import Record
+from repro.core.results import KnnResult, LookupResult, RangeQueryResult
 from repro.core.split import (
     DataAwareSplit,
     SplitPlan,
@@ -49,6 +61,13 @@ from repro.core.split import (
     ThresholdSplit,
 )
 from repro.dht.api import Dht
+
+
+def build_strategy(config: IndexConfig) -> SplitStrategy:
+    """The :class:`SplitStrategy` selected by ``config.strategy``."""
+    if config.strategy == "data-aware":
+        return DataAwareSplit(config.expected_load)
+    return ThresholdSplit(config.split_threshold, config.merge_threshold)
 
 
 class MLightIndex:
@@ -59,19 +78,22 @@ class MLightIndex:
         dht: Dht,
         config: IndexConfig | None = None,
         strategy: SplitStrategy | None = None,
+        *,
+        cache: LeafCache | None = None,
     ) -> None:
         self._dht = dht
         self._config = config if config is not None else IndexConfig()
         if strategy is None:
-            strategy = ThresholdSplit(
-                self._config.split_threshold, self._config.merge_threshold
-            )
+            strategy = build_strategy(self._config)
         self._strategy = strategy
+        if cache is None and self._config.cache_capacity > 0:
+            cache = LeafCache(self._config.cache_capacity)
+        self._cache = cache
         self._range_engine = RangeQueryEngine(
-            dht, self._config.dims, self._config.max_depth
+            dht, self._config.dims, self._config.max_depth, cache=cache
         )
         self._knn_engine = KnnEngine(
-            dht, self._config.dims, self._config.max_depth
+            dht, self._config.dims, self._config.max_depth, cache=cache
         )
         self._bootstrap()
 
@@ -79,9 +101,19 @@ class MLightIndex:
     def with_data_aware_splitting(
         cls, dht: Dht, config: IndexConfig | None = None
     ) -> "MLightIndex":
-        """Construct with the paper's data-aware strategy (Section 4.2)."""
+        """Deprecated alias for ``IndexConfig(strategy="data-aware")``.
+
+        Kept for source compatibility; new code selects the Section-4.2
+        strategy through the config instead.
+        """
+        warnings.warn(
+            "MLightIndex.with_data_aware_splitting is deprecated; pass "
+            'IndexConfig(strategy="data-aware") instead',
+            DeprecationWarning,
+            stacklevel=2,
+        )
         config = config if config is not None else IndexConfig()
-        return cls(dht, config, DataAwareSplit(config.expected_load))
+        return cls(dht, replace(config, strategy="data-aware"))
 
     # ------------------------------------------------------------------
     # Properties
@@ -112,14 +144,23 @@ class MLightIndex:
         """The active split strategy."""
         return self._strategy
 
+    @property
+    def cache(self) -> LeafCache | None:
+        """This client's leaf cache; None when caching is disabled."""
+        return self._cache
+
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
 
     def lookup(self, point: Point) -> LookupResult:
-        """Locate the leaf bucket covering *point* (Section 5)."""
+        """Locate the leaf bucket covering *point* (Section 5).
+
+        With a cache, a warm region answers in one hinted DHT-get; a
+        stale or missing hint falls back to the binary search.
+        """
         return lookup_point(
-            self._dht, point, self.dims, self.max_depth
+            self._dht, point, self.dims, self.max_depth, cache=self._cache
         )
 
     def exact_match(self, point: Point) -> list[Record]:
@@ -148,19 +189,16 @@ class MLightIndex:
         return result
 
     def insert_many(self, items: Iterable) -> int:
-        """Insert (key, value) pairs or bare keys; returns the count."""
+        """Insert records, (key, value) pairs or bare keys; the count.
+
+        Accepted item spellings are exactly those of
+        :meth:`Record.coerce`, shared with :func:`~repro.core.bulkload.
+        bulk_load`.
+        """
         count = 0
         for item in items:
-            if isinstance(item, Record):
-                self.insert(item.key, item.value)
-            elif (
-                isinstance(item, tuple)
-                and len(item) == 2
-                and isinstance(item[0], (tuple, list))
-            ):
-                self.insert(item[0], item[1])
-            else:
-                self.insert(item)
+            record = Record.coerce(item, dims=self.dims)
+            self.insert(record.key, record.value)
             count += 1
         return count
 
@@ -185,14 +223,16 @@ class MLightIndex:
         return True
 
     def range_query(
-        self, query: Region, lookahead: int = 1
+        self, query: RegionLike, lookahead: int = 1
     ) -> RangeQueryResult:
         """All records in the closed region *query* (Section 6).
 
-        ``lookahead=1`` runs the basic algorithm; 2 or 4 run the
-        parallel variants evaluated in Fig. 7.
+        *query* is a :class:`~repro.common.geometry.Region` or a plain
+        ``(lows, highs)`` pair.  ``lookahead=1`` runs the basic
+        algorithm; 2 or 4 run the parallel variants evaluated in
+        Fig. 7.  Every leaf the query visits warms this client's cache.
         """
-        return self._range_engine.query(query, lookahead)
+        return self._range_engine.query(as_region(query), lookahead)
 
     def knn(self, point: Point, k: int) -> KnnResult:
         """The *k* records nearest to *point* (exact, Euclidean).
@@ -319,6 +359,12 @@ class MLightIndex:
             bucket_key(origin_name),
             LeafBucket(label, self.dims, list(records)),
         )
+        if self._cache is not None:
+            # This client made the split, so its cache can stay exact:
+            # the origin stopped being a leaf, the plan leaves began.
+            self._cache.forget(plan.origin)
+            for leaf_label, _ in plan.leaves:
+                self._cache.observe(leaf_label)
 
     def _maybe_merge(self, bucket: LeafBucket) -> None:
         """Cascade sibling merges upward while the strategy approves.
@@ -354,4 +400,9 @@ class MLightIndex:
                 bucket_key(parent_label), records_moved=moved.load
             )
             self._dht.rewrite_local(bucket_key(parent_name), merged)
+            if self._cache is not None:
+                # Both children died as leaves; the parent was born.
+                self._cache.forget(bucket.label)
+                self._cache.forget(other.label)
+                self._cache.observe(merged.label)
             bucket = merged

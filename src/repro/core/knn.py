@@ -11,36 +11,26 @@ Correctness argument: after a round that returned at least ``k``
 candidates within distance ``r`` of the query point, every unexplored
 cell lies outside the ``r``-box and therefore cannot contain anything
 closer than the current k-th candidate — so the top-k is exact.
+
+The engine threads the client's :class:`~repro.core.cache.LeafCache`
+(when one is configured) through both the seeding point lookup and the
+ring range queries, so repeated similarity searches around the same
+region stay on the hinted fast path.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 from repro.common.errors import ReproError
 from repro.common.geometry import Point, Region, check_point
+from repro.core.cache import LeafCache
 from repro.core.lookup import lookup_point
 from repro.core.rangequery import RangeQueryEngine
-from repro.core.records import Record
+from repro.core.results import KnnResult, Neighbor
 from repro.dht.api import Dht
 
-
-@dataclass(frozen=True, slots=True)
-class Neighbor:
-    """One k-NN answer: a record and its Euclidean distance."""
-
-    record: Record
-    distance: float
-
-
-@dataclass(slots=True)
-class KnnResult:
-    """Top-k neighbours plus the paper's two cost measures."""
-
-    neighbors: list[Neighbor]
-    lookups: int
-    rounds: int
+__all__ = ["KnnEngine", "KnnResult", "Neighbor", "euclidean"]
 
 
 def euclidean(a: Point, b: Point) -> float:
@@ -51,11 +41,18 @@ def euclidean(a: Point, b: Point) -> float:
 class KnnEngine:
     """Expanding-ring k-NN over any DHT carrying an m-LIGHT tree."""
 
-    def __init__(self, dht: Dht, dims: int, max_depth: int) -> None:
+    def __init__(
+        self,
+        dht: Dht,
+        dims: int,
+        max_depth: int,
+        cache: LeafCache | None = None,
+    ) -> None:
         self._dht = dht
         self._dims = dims
         self._max_depth = max_depth
-        self._ranges = RangeQueryEngine(dht, dims, max_depth)
+        self._cache = cache
+        self._ranges = RangeQueryEngine(dht, dims, max_depth, cache=cache)
 
     def query(self, point: Point, k: int) -> KnnResult:
         """Return the *k* records nearest to *point* (exact).
@@ -70,7 +67,10 @@ class KnnEngine:
 
         # Seed the radius from the leaf covering the query point: its
         # cell diameter is the natural scale of the local data density.
-        seed = lookup_point(self._dht, point, self._dims, self._max_depth)
+        seed = lookup_point(
+            self._dht, point, self._dims, self._max_depth,
+            cache=self._cache,
+        )
         lookups = seed.lookups
         rounds = seed.rounds
         region = seed.bucket.region
@@ -93,10 +93,10 @@ class KnnEngine:
             )
             within = [n for n in ranked if n.distance <= radius]
             if len(within) >= k:
-                return KnnResult(within[:k], lookups, rounds)
+                return KnnResult(tuple(within[:k]), lookups, rounds)
             if self._covers_everything(box):
                 # Fewer than k records exist in total.
-                return KnnResult(ranked[:k], lookups, rounds)
+                return KnnResult(tuple(ranked[:k]), lookups, rounds)
             shortfall_boost = 2.0 if not ranked else 1.0
             if len(ranked) >= k:
                 # We have k candidates but the k-th might be beaten by

@@ -1,4 +1,4 @@
-"""The m-LIGHT lookup operation (Section 5).
+"""The m-LIGHT lookup operation (Section 5), plus the cached hint path.
 
 Given a data key δ, return the leaf bucket covering δ.  The candidate
 labels are the prefixes (length ``m+1`` to ``m+1+D``) of the root label
@@ -18,28 +18,29 @@ for ``<0.3, 0.9>`` in the paper):
   the contiguous run named to ``fmd(c_mid)`` is ruled out at once
   (the probed bucket is the only leaf with that name), so the lower
   bound jumps past the run's end.
+
+When the caller supplies a :class:`~repro.core.cache.LeafCache`, the
+engine first probes the name of the deepest cached label covering δ.
+A fresh hit answers in **one** DHT-get.  A stale hint (the cached leaf
+split or merged away since it was observed) is just another probe of a
+candidate prefix, so its outcome feeds the very same case analysis
+above and tightens the interval the fallback binary search starts
+from — correctness never depends on cache freshness, and every hint
+probe is metered like any other DHT-get.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.common.errors import IndexCorruptionError
 from repro.common.geometry import Point, check_point
 from repro.common.labels import candidate_string
-from repro.core.bucket import LeafBucket
+from repro.core.cache import LeafCache
 from repro.core.keys import bucket_key
 from repro.core.naming import name_run_end, naming_function
+from repro.core.results import LookupResult
 from repro.dht.api import Dht
 
-
-@dataclass(frozen=True, slots=True)
-class LookupResult:
-    """Outcome of one lookup: the covering bucket plus its cost."""
-
-    bucket: LeafBucket
-    lookups: int
-    rounds: int
+__all__ = ["LookupResult", "lookup_point"]
 
 
 def lookup_point(
@@ -50,13 +51,18 @@ def lookup_point(
     *,
     min_label_length: int | None = None,
     max_label_length: int | None = None,
+    cache: LeafCache | None = None,
 ) -> LookupResult:
-    """Binary-search lookup of the leaf bucket covering *point*.
+    """Locate the leaf bucket covering *point*; hinted when cached.
 
     *min_label_length* / *max_label_length* optionally tighten the
     initial bounds — range-query fallbacks use them when they already
     know the target leaf lies strictly between a node that exists and a
     speculative label that does not.
+
+    *cache* enables the hinted fast path and is warmed with every leaf
+    this lookup observes (the covering leaf, and any current leaf a
+    stale probe happened to return).
     """
     point = check_point(point, dims)
     candidate = candidate_string(point, max_depth)
@@ -67,6 +73,34 @@ def lookup_point(
     if max_label_length is not None:
         high = min(high, max_label_length)
     probes = 0
+
+    if cache is not None:
+        hint = cache.propose(candidate, low, high)
+        if hint is None:
+            dht.stats.cache_misses += 1
+        else:
+            name = naming_function(hint, dims)
+            probes += 1
+            bucket = dht.get(bucket_key(name))
+            if bucket is not None and bucket.covers(point):
+                dht.stats.cache_hits += 1
+                cache.observe(bucket.label)
+                return LookupResult(bucket, probes, probes)
+            # Stale: the cached leaf split or merged away.  The probe
+            # still proved a bound under the *current* tree (same case
+            # analysis as the binary search below), so fall back with a
+            # tightened interval.
+            dht.stats.cache_stale += 1
+            cache.forget(hint)
+            if bucket is None:
+                # fmd(hint) is not internal: target length <= len(name).
+                high = min(high, len(name))
+            else:
+                # fmd(hint) is internal; its one named leaf is current
+                # (worth caching) but not the target: skip its whole
+                # candidate run.
+                cache.observe(bucket.label)
+                low = max(low, name_run_end(candidate, len(name), dims) + 1)
 
     while low <= high:
         mid = (low + high) // 2
@@ -82,6 +116,8 @@ def lookup_point(
                 )
             high = len(name)
         elif bucket.covers(point):
+            if cache is not None:
+                cache.observe(bucket.label)
             return LookupResult(bucket, probes, probes)
         else:
             # fmd(c_mid) is internal and its one named leaf is not the

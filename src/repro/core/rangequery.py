@@ -29,15 +29,22 @@ function's run structure; see ``tests/test_rangequery.py``):
 * an unrelated leaf is impossible: every leaf named ``fmd(β)`` lies on
   the unique forced-bit run through β, hence is prefix-comparable
   with β.
+
+When the engine carries a :class:`~repro.core.cache.LeafCache`, every
+leaf a query visits warms it (and the missing-target fallback lookup
+may ride cached hints), so range scans prime subsequent point lookups
+in the same region.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import IndexCorruptionError, InvalidRegionError
 from repro.common.geometry import (
     Region,
+    RegionLike,
+    as_region,
     cell_resolves_query,
     clip,
     region_of_label,
@@ -48,21 +55,18 @@ from repro.common.labels import (
     root_label,
 )
 from repro.core.bucket import LeafBucket
+from repro.core.cache import LeafCache
 from repro.core.keys import bucket_key
 from repro.core.lookup import lookup_point
 from repro.core.naming import naming_function
-from repro.core.records import Record
+from repro.core.results import RangeQueryBuilder, RangeQueryResult
 from repro.dht.api import Dht
 
-
-@dataclass(slots=True)
-class RangeQueryResult:
-    """Records matching a range query, plus the paper's two costs."""
-
-    records: list[Record] = field(default_factory=list)
-    lookups: int = 0
-    rounds: int = 0
-    visited_leaves: set[str] = field(default_factory=set)
+__all__ = [
+    "RangeQueryEngine",
+    "RangeQueryResult",
+    "compute_lca",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -100,18 +104,29 @@ def compute_lca(query: Region, dims: int, max_depth: int) -> str:
 class RangeQueryEngine:
     """Executes range queries; one instance per (dht, geometry)."""
 
-    def __init__(self, dht: Dht, dims: int, max_depth: int) -> None:
+    def __init__(
+        self,
+        dht: Dht,
+        dims: int,
+        max_depth: int,
+        cache: LeafCache | None = None,
+    ) -> None:
         self._dht = dht
         self._dims = dims
         self._max_depth = max_depth
+        self._cache = cache
 
-    def query(self, query: Region, lookahead: int = 1) -> RangeQueryResult:
+    def query(
+        self, query: RegionLike, lookahead: int = 1
+    ) -> RangeQueryResult:
         """Return every record matching the closed region *query*.
 
+        *query* is a :class:`Region` or a ``(lows, highs)`` pair.
         ``lookahead=1`` is the basic algorithm; powers of two >= 2
         select the parallel variant with that many subqueries per
         branch node per step.
         """
+        query = as_region(query)
         if query.dims != self._dims:
             raise InvalidRegionError(
                 f"query has {query.dims} dims, index has {self._dims}"
@@ -121,21 +136,22 @@ class RangeQueryEngine:
                 f"lookahead must be a power of two >= 1, got {lookahead}"
             )
         levels = lookahead.bit_length() - 1
-        result = RangeQueryResult()
+        builder = RangeQueryBuilder()
         lca = compute_lca(query, self._dims, self._max_depth)
         tasks = [_Task(lca, query, root_label(self._dims))]
         round_number = 0
         while tasks:
             round_number += 1
-            result.rounds = max(result.rounds, round_number)
+            builder.rounds = max(builder.rounds, round_number)
             next_tasks: list[_Task] = []
             for task in tasks:
                 for frontier_task in self._expand(task, levels):
                     self._probe(
-                        frontier_task, query, round_number, result, next_tasks
+                        frontier_task, query, round_number, builder,
+                        next_tasks,
                     )
             tasks = next_tasks
-        return result
+        return builder.build()
 
     # ------------------------------------------------------------------
     # Internals
@@ -166,30 +182,30 @@ class RangeQueryEngine:
         task: _Task,
         query: Region,
         round_number: int,
-        result: RangeQueryResult,
+        builder: RangeQueryBuilder,
         next_tasks: list[_Task],
     ) -> None:
         """Issue one DHT-get for *task* and dispatch on the outcome."""
         name = naming_function(task.target, self._dims)
-        result.lookups += 1
+        builder.lookups += 1
         bucket = self._dht.get(bucket_key(name))
 
         if bucket is None:
             # The target lies strictly below a leaf; find that leaf by a
             # point lookup inside the subquery (Algorithm 2's fallback).
-            self._fallback_lookup(task, query, round_number, result)
+            self._fallback_lookup(task, query, round_number, builder)
             return
 
         label = bucket.label
         if task.target.startswith(label):
             # Ancestor-or-self: this one leaf covers the whole subquery.
-            self._collect(bucket, query, result)
+            self._collect(bucket, query, builder)
             return
         if label.startswith(task.target):
             # Corner-cell leaf inside the target: collect it, then
             # forward the clipped subquery to each overlapping branch
             # node between the leaf and the target (Algorithm 3).
-            self._collect(bucket, query, result)
+            self._collect(bucket, query, builder)
             for branch in branch_nodes_between(
                 label, task.target, self._dims
             ):
@@ -209,7 +225,7 @@ class RangeQueryEngine:
         task: _Task,
         query: Region,
         round_number: int,
-        result: RangeQueryResult,
+        builder: RangeQueryBuilder,
     ) -> None:
         """Point lookup for a missing target.
 
@@ -231,17 +247,20 @@ class RangeQueryEngine:
             self._max_depth,
             min_label_length=min_length,
             max_label_length=len(task.target) - 1,
+            cache=self._cache,
         )
-        result.lookups += found.lookups
-        result.rounds = max(result.rounds, round_number + found.rounds)
-        self._collect(found.bucket, query, result)
+        builder.lookups += found.lookups
+        builder.rounds = max(builder.rounds, round_number + found.rounds)
+        self._collect(found.bucket, query, builder)
 
     def _collect(
-        self, bucket: LeafBucket, query: Region, result: RangeQueryResult
+        self, bucket: LeafBucket, query: Region, builder: RangeQueryBuilder
     ) -> None:
         """Add *bucket*'s matching records once (leaves are disjoint, so
-        per-leaf dedup makes the result set exact)."""
-        if bucket.label in result.visited_leaves:
+        per-leaf dedup makes the result set exact), warming the cache
+        with the visited leaf."""
+        if self._cache is not None:
+            self._cache.observe(bucket.label)
+        if bucket.label in builder.visited_leaves:
             return
-        result.visited_leaves.add(bucket.label)
-        result.records.extend(bucket.matching(query))
+        builder.collect(bucket.label, bucket.matching(query))

@@ -7,6 +7,7 @@ into the unit interval per dimension.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
 
@@ -27,6 +28,37 @@ class Record:
         if dims is not None:
             check_point(key, dims)
         return cls(key, value)
+
+    @classmethod
+    def coerce(cls, item, dims: int | None = None) -> "Record":
+        """Normalise any accepted record spelling to a ``Record``.
+
+        Bulk entry points (``insert_many``, ``bulk_load``) accept three
+        spellings and this is their single normalisation rule:
+
+        * a ``Record`` — revalidated (arity/range when *dims* given);
+        * a ``(key, value)`` pair, recognised because its first element
+          is itself a coordinate sequence;
+        * a bare key — any sequence of coordinates, e.g. ``(0.2, 0.4)``.
+
+        The pair form requires the key element to be a tuple or list —
+        a bare 2-D key ``(0.3, 0.7)`` is two floats, not a pair, so the
+        two cannot collide.
+        """
+        if isinstance(item, Record):
+            return cls.make(item.key, item.value, dims=dims)
+        if (
+            isinstance(item, (tuple, list))
+            and len(item) == 2
+            and isinstance(item[0], (tuple, list))
+        ):
+            return cls.make(item[0], item[1], dims=dims)
+        if isinstance(item, Sequence) and not isinstance(item, str):
+            return cls.make(item, dims=dims)
+        raise TypeError(
+            f"cannot coerce {item!r} to a Record; pass a Record, a "
+            "(key, value) pair, or a bare coordinate sequence"
+        )
 
     @property
     def dims(self) -> int:

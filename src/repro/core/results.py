@@ -1,0 +1,96 @@
+"""Immutable query-result objects shared by every engine.
+
+Every public query operation answers with a frozen dataclass carrying
+the paper's two cost measures (Section 7):
+
+* ``lookups`` — bandwidth: how many metered DHT-lookups the operation
+  spent (cache hint probes included; hints are metered probes, never
+  oracle reads);
+* ``rounds`` — latency: the longest chain of sequential DHT-lookups.
+
+Results are *values*: once an engine hands one out, nothing mutates it.
+Engines and baselines accumulate into a :class:`RangeQueryBuilder` and
+construct the frozen :class:`RangeQueryResult` in exactly one place —
+:meth:`RangeQueryBuilder.build` — so no call site pokes fields onto a
+result after the fact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.bucket import LeafBucket
+from repro.core.records import Record
+
+
+@dataclass(frozen=True, slots=True)
+class LookupResult:
+    """Outcome of one point lookup: the covering bucket plus its cost."""
+
+    bucket: LeafBucket
+    lookups: int
+    rounds: int
+
+
+@dataclass(frozen=True, slots=True)
+class RangeQueryResult:
+    """Records matching a range query, plus the paper's two costs."""
+
+    records: tuple[Record, ...] = ()
+    lookups: int = 0
+    rounds: int = 0
+    visited_leaves: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True, slots=True)
+class Neighbor:
+    """One k-NN answer: a record and its Euclidean distance."""
+
+    record: Record
+    distance: float
+
+
+@dataclass(frozen=True, slots=True)
+class KnnResult:
+    """Top-k neighbours plus the paper's two cost measures."""
+
+    neighbors: tuple[Neighbor, ...]
+    lookups: int
+    rounds: int
+
+
+@dataclass(slots=True)
+class RangeQueryBuilder:
+    """Mutable accumulator used internally by range-query engines.
+
+    Field names mirror :class:`RangeQueryResult` so accumulation code
+    reads the same as before the results were frozen; :meth:`build` is
+    the single construction site of the immutable result.
+    """
+
+    records: list[Record] = field(default_factory=list)
+    lookups: int = 0
+    rounds: int = 0
+    visited_leaves: set[str] = field(default_factory=set)
+
+    def collect(self, label: str, matches: Iterable[Record]) -> bool:
+        """Add one visited leaf's matching records exactly once.
+
+        Leaves are disjoint, so per-leaf dedup keeps the result set
+        exact; returns False when *label* was already collected.
+        """
+        if label in self.visited_leaves:
+            return False
+        self.visited_leaves.add(label)
+        self.records.extend(matches)
+        return True
+
+    def build(self) -> RangeQueryResult:
+        """Freeze the accumulated state into a result value."""
+        return RangeQueryResult(
+            records=tuple(self.records),
+            lookups=self.lookups,
+            rounds=self.rounds,
+            visited_leaves=frozenset(self.visited_leaves),
+        )

@@ -41,7 +41,17 @@ def estimate_wire_size(value: Any) -> int:
 
 @dataclass(slots=True)
 class DhtStats:
-    """Index-level cost counters, shared by all substrates."""
+    """Index-level cost counters, shared by all substrates.
+
+    The ``cache_*`` counters meter the client-side leaf cache
+    (:mod:`repro.core.cache`): ``cache_hits`` — hinted probes whose
+    bucket covered the point (1 DHT-get total), ``cache_stale`` —
+    hinted probes that proved the cached leaf gone (the probe is still
+    metered in ``lookups``; the binary search resumed with tightened
+    bounds), ``cache_misses`` — lookups for which nothing useful was
+    cached.  They are outcome tallies, not costs: every hint probe is
+    already counted in ``lookups``/``gets``.
+    """
 
     lookups: int = 0
     gets: int = 0
@@ -49,6 +59,9 @@ class DhtStats:
     removes: int = 0
     records_moved: int = 0
     hops: int = 0
+    cache_hits: int = 0
+    cache_stale: int = 0
+    cache_misses: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """Immutable copy of all counters."""
@@ -59,6 +72,9 @@ class DhtStats:
             "removes": self.removes,
             "records_moved": self.records_moved,
             "hops": self.hops,
+            "cache_hits": self.cache_hits,
+            "cache_stale": self.cache_stale,
+            "cache_misses": self.cache_misses,
         }
 
     def reset(self) -> None:
@@ -69,6 +85,9 @@ class DhtStats:
         self.removes = 0
         self.records_moved = 0
         self.hops = 0
+        self.cache_hits = 0
+        self.cache_stale = 0
+        self.cache_misses = 0
 
 
 class Dht(ABC):

@@ -10,7 +10,7 @@ the metrics are substrate independent).
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.common.config import IndexConfig
 from repro.common.errors import ReproError
@@ -46,7 +46,7 @@ def build_index(
     if scheme == "mlight":
         return MLightIndex(dht, config)
     if scheme == "mlight-da":
-        return MLightIndex.with_data_aware_splitting(dht, config)
+        return MLightIndex(dht, replace(config, strategy="data-aware"))
     if scheme == "pht":
         return PhtIndex(dht, config)
     if scheme == "dst":

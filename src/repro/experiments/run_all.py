@@ -118,6 +118,12 @@ def main(argv: list[str] | None = None) -> int:
         "bulk load vs incremental",
     ))
 
+    print("\n=== Ablation A5: client leaf cache ===")
+    print(ablation.render(
+        ablation.run_cache_ablation(small, keys, config),
+        "client leaf cache",
+    ))
+
     print("\n=== Extension E9: scaling with dimensionality ===")
     print(scaling.render(
         scaling.run_dimensionality_sweep(min(3000, len(points)), config)

@@ -143,8 +143,8 @@ class TestStaticBeatsIncremental:
         incremental_loads = [bucket.load for bucket in incr.buckets()]
 
         epsilon = config.expected_load
-        static_cost = sum((l - epsilon) ** 2 for l in static_loads)
+        static_cost = sum((x - epsilon) ** 2 for x in static_loads)
         incremental_cost = sum(
-            (l - epsilon) ** 2 for l in incremental_loads
+            (x - epsilon) ** 2 for x in incremental_loads
         )
         assert static_cost <= incremental_cost

@@ -81,7 +81,7 @@ class TestEdgeCases:
     def test_empty_index(self):
         index = make_index()
         result = index.knn((0.5, 0.5), 3)
-        assert result.neighbors == []
+        assert result.neighbors == ()
 
     def test_query_point_in_empty_region(self):
         """Target in a far corner away from all data."""

@@ -40,7 +40,9 @@ class TestOwnership:
                 counts[owner] = counts.get(owner, 0) + 1
             loads = [counts.get(p, 0) for p in dht.peers()]
             mean = sum(loads) / len(loads)
-            return sum((l - mean) ** 2 for l in loads) / len(loads) / mean**2
+            return (
+                sum((x - mean) ** 2 for x in loads) / len(loads) / mean**2
+            )
 
         plain = spread(LocalDht(32, virtual_nodes=1))
         virtual = spread(LocalDht(32, virtual_nodes=64))
