@@ -48,6 +48,7 @@ def replay(client, dht, keys):
     return dht.stats.lookups - before
 
 
+@pytest.mark.smoke
 def test_cache_halves_lookups(loaded_dht, paper_config, skewed_keys):
     uncached = MLightIndex(loaded_dht, paper_config)
     cached = MLightIndex(
@@ -70,6 +71,7 @@ def test_cache_halves_lookups(loaded_dht, paper_config, skewed_keys):
     assert 2 * cached_lookups <= uncached_lookups
 
 
+@pytest.mark.smoke
 def test_warm_cached_lookup_time(benchmark, loaded_dht, paper_config,
                                  skewed_keys):
     """Time a warm hinted lookup (cache already holds every hot leaf)."""

@@ -2,11 +2,18 @@
 
 Regenerates the five-variant comparison across range spans (tables
 under ``results/``) and asserts the paper's orderings, then times one
-representative query per variant on prebuilt indexes.
+representative query per variant on prebuilt indexes.  A third table
+(fig7c) replays the lookahead sweep on a Chord ring over the simulated
+network, where latency is *measured* as simulated clock time — each
+batched round costs its critical path, not the sum of its probes — so
+the rounds proxy of Fig. 7b is checked against an actual clock.
 """
 
 import pytest
 
+from repro.core.bulkload import bulk_load
+from repro.core.index import MLightIndex
+from repro.dht.chord import ChordDht
 from repro.experiments import fig7
 from repro.experiments.harness import build_index
 from repro.workloads.queries import uniform_range_queries
@@ -15,6 +22,10 @@ from .conftest import publish
 
 #: Spans used by the timed benchmarks (the table uses DEFAULT_SPANS).
 _BENCH_SPAN = 0.2
+
+#: Span for the simulated-clock sweep: wide enough that the basic
+#: variant needs several waves, so lookahead has latency to reclaim.
+_CLOCK_SPAN = 0.5
 
 
 @pytest.fixture(scope="module")
@@ -52,6 +63,51 @@ def rangequery_series(query_dataset, paper_config):
     assert dst[0] <= by_name["mlight-basic"].latency[0]
     assert dst[-1] > dst[0]
     return series
+
+
+@pytest.fixture(scope="module")
+def chord_index(query_dataset, paper_config):
+    """An m-LIGHT index bulk-loaded onto a Chord ring over SimNetwork."""
+    dht = ChordDht.build(32)
+    points = query_dataset[: min(len(query_dataset), 4000)]
+    bulk_load(dht, points, paper_config)
+    return MLightIndex(dht, paper_config), dht.network
+
+
+@pytest.mark.smoke
+def test_fig7c_critical_path_latency(chord_index):
+    """Fig. 7b's premise on a real clock: with each batched round
+    charged its critical path, lookahead=4 answers the same queries in
+    less simulated time than the basic variant while spending more
+    lookups (the paper's bandwidth-for-latency trade)."""
+    index, network = chord_index
+    queries = uniform_range_queries(8, _CLOCK_SPAN, seed=20090622)
+    elapsed, rounds, lookups = {}, {}, {}
+    for lookahead in (1, 2, 4):
+        start = network.clock.now
+        rounds[lookahead] = lookups[lookahead] = 0
+        for query in queries:
+            result = index.range_query(query, lookahead=lookahead)
+            rounds[lookahead] += result.rounds
+            lookups[lookahead] += result.lookups
+        elapsed[lookahead] = network.clock.now - start
+
+    lines = [
+        f"{len(queries)} queries of span {_CLOCK_SPAN} on a 32-peer "
+        "Chord ring (simulated clock, per-round critical path)",
+        f"{'lookahead':>9}  {'rounds':>6}  {'lookups':>7}  "
+        f"{'sim latency':>11}",
+    ]
+    for lookahead in (1, 2, 4):
+        lines.append(
+            f"{lookahead:>9}  {rounds[lookahead]:>6}  "
+            f"{lookups[lookahead]:>7}  {elapsed[lookahead]:>11.1f}"
+        )
+    publish("fig7c_critical_latency.txt", "\n".join(lines))
+
+    assert elapsed[4] < elapsed[1]
+    assert rounds[4] < rounds[1]
+    assert lookups[4] >= lookups[1]
 
 
 @pytest.fixture(scope="module")

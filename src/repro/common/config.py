@@ -39,6 +39,15 @@ class IndexConfig:
             every lookup on the paper's cold binary-search path (the
             default, so metered costs match the paper's model unless a
             cache is asked for).
+        default_lookahead: the lookahead ``h`` range queries use when
+            the caller does not pass one — 1 is the basic Algorithm 2/3
+            walk, powers of two >= 2 select the parallel variant with
+            that many speculative subqueries per branch node (Fig. 7).
+        execution: which execution plane the index's engines run on —
+            ``"batched"`` (each recursion level's probes issued as one
+            parallel DHT round) or ``"sequential"`` (one ``get`` per
+            probe, the reference semantics).  Answers and lookup meters
+            are identical either way.
     """
 
     dims: int = 2
@@ -48,8 +57,11 @@ class IndexConfig:
     expected_load: int = 70
     strategy: str = "threshold"
     cache_capacity: int = 0
+    default_lookahead: int = 1
+    execution: str = "batched"
 
     STRATEGIES = ("threshold", "data-aware")
+    EXECUTION_PLANES = ("batched", "sequential")
 
     def __post_init__(self) -> None:
         if self.dims < 1:
@@ -72,5 +84,19 @@ class IndexConfig:
             )
         if self.cache_capacity < 0:
             raise ReproError(
-                "cache_capacity must be >= 0 (0 disables the cache)"
+                "cache_capacity must be >= 0 (0 disables the cache), "
+                f"got {self.cache_capacity}"
+            )
+        if self.default_lookahead < 1 or (
+            self.default_lookahead & (self.default_lookahead - 1)
+        ):
+            raise ReproError(
+                "default_lookahead must be a power of two >= 1 "
+                "(1 disables speculative expansion), got "
+                f"{self.default_lookahead}"
+            )
+        if self.execution not in self.EXECUTION_PLANES:
+            raise ReproError(
+                f"unknown execution plane {self.execution!r}; expected "
+                f"one of {self.EXECUTION_PLANES}"
             )

@@ -88,12 +88,22 @@ def bulk_load(
 
     leaves = plan_bulk_tree(records, config, strategy)
     placed = []
+    pairs = []
+    moved = []
     for label, leaf_records in leaves:
         bucket = LeafBucket(label, config.dims, leaf_records)
-        dht.put(
-            bucket_key(naming_function(label, config.dims)),
-            bucket,
-            records_moved=bucket.load,
+        pairs.append(
+            (bucket_key(naming_function(label, config.dims)), bucket)
         )
+        moved.append(bucket.load)
         placed.append((label, bucket.load))
+    # Placements are independent (one routed put per leaf), so under
+    # the batched plane they go out as one parallel round; the metered
+    # cost — one put and one lookup per bucket, one transfer per
+    # record — is identical on both planes.
+    if config.execution == "batched":
+        dht.put_many(pairs, records_moved=moved)
+    else:
+        for (key, bucket), load in zip(pairs, moved):
+            dht.put(key, bucket, records_moved=load)
     return placed

@@ -87,16 +87,17 @@ class PeerQueryAgent:
 
         records = list(bucket.matching(query))
         visited = [label]
-        deepest = 0
+        branches = []
         for branch in branch_nodes_between(label, target, runtime.dims):
             clipped = clip(
                 subquery, region_of_label(branch, runtime.dims)
             )
-            if clipped is None:
-                continue
-            child_records, child_visited, child_rounds = runtime.forward(
-                self._node.name, branch, clipped, query
-            )
+            if clipped is not None:
+                branches.append((branch, clipped))
+        deepest = 0
+        for child_records, child_visited, child_rounds in runtime.forward_all(
+            self._node.name, branches, query
+        ):
             records.extend(child_records)
             visited.extend(child_visited)
             deepest = max(deepest, child_rounds)
@@ -165,6 +166,46 @@ class DistributedQueryRuntime:
             query,
         )
         return records, visited, rounds + 1
+
+    def forward_all(
+        self,
+        src_peer: str,
+        branches: list[tuple[str, Region]],
+        query: Region,
+    ) -> list[tuple[list[Record], list[str], int]]:
+        """Forward one agent's branch subqueries as one parallel round.
+
+        This is the paper's "Ri is forwarded to βi" step executed the
+        way Section 6 narrates it — all branch subqueries of one node
+        go out together: one ``lookup_many`` resolves every owner, then
+        the agent messages ride a single network message round (each
+        forward its own chain).  Per-branch costs are unchanged — one
+        DHT-lookup plus one agent message each, child rounds
+        incremented by the hop — only the latency structure is
+        parallel.
+        """
+        if not branches:
+            return []
+        owners = self.dht.lookup_many(
+            [
+                bucket_key(naming_function(target, self.dims))
+                for target, _ in branches
+            ]
+        )
+        results = []
+        with self._network.message_round() as round_:
+            for (target, subquery), owner in zip(branches, owners):
+                with round_.chain():
+                    records, visited, rounds = self._network.rpc(
+                        src_peer + AGENT_SUFFIX,
+                        owner + AGENT_SUFFIX,
+                        "execute",
+                        target,
+                        subquery,
+                        query,
+                    )
+                results.append((records, visited, rounds + 1))
+        return results
 
     def query(
         self, query: Region, initiator: str | None = None

@@ -89,11 +89,20 @@ class MLightIndex:
         if cache is None and self._config.cache_capacity > 0:
             cache = LeafCache(self._config.cache_capacity)
         self._cache = cache
+        self._batched = self._config.execution == "batched"
         self._range_engine = RangeQueryEngine(
-            dht, self._config.dims, self._config.max_depth, cache=cache
+            dht,
+            self._config.dims,
+            self._config.max_depth,
+            cache=cache,
+            batched=self._batched,
         )
         self._knn_engine = KnnEngine(
-            dht, self._config.dims, self._config.max_depth, cache=cache
+            dht,
+            self._config.dims,
+            self._config.max_depth,
+            cache=cache,
+            batched=self._batched,
         )
         self._bootstrap()
 
@@ -223,15 +232,18 @@ class MLightIndex:
         return True
 
     def range_query(
-        self, query: RegionLike, lookahead: int = 1
+        self, query: RegionLike, lookahead: int | None = None
     ) -> RangeQueryResult:
         """All records in the closed region *query* (Section 6).
 
         *query* is a :class:`~repro.common.geometry.Region` or a plain
         ``(lows, highs)`` pair.  ``lookahead=1`` runs the basic
         algorithm; 2 or 4 run the parallel variants evaluated in
-        Fig. 7.  Every leaf the query visits warms this client's cache.
+        Fig. 7; omitted, it defaults to ``config.default_lookahead``.
+        Every leaf the query visits warms this client's cache.
         """
+        if lookahead is None:
+            lookahead = self._config.default_lookahead
         return self._range_engine.query(as_region(query), lookahead)
 
     def knn(self, point: Point, k: int) -> KnnResult:
@@ -334,6 +346,8 @@ class MLightIndex:
         """
         origin_name = naming_function(plan.origin, self.dims)
         survivor: tuple[str, tuple[Record, ...]] | None = None
+        pairs: list[tuple[str, LeafBucket]] = []
+        moved: list[int] = []
         for label, records in plan.leaves:
             name = naming_function(label, self.dims)
             if name == origin_name:
@@ -344,11 +358,17 @@ class MLightIndex:
                     )
                 survivor = (label, records)
                 continue
-            self._dht.put(
-                bucket_key(name),
-                LeafBucket(label, self.dims, list(records)),
-                records_moved=len(records),
+            pairs.append(
+                (bucket_key(name), LeafBucket(label, self.dims, list(records)))
             )
+            moved.append(len(records))
+        # The transferred leaves go to independent peers, so under the
+        # batched plane one split is one parallel round of routed puts.
+        if self._batched:
+            self._dht.put_many(pairs, records_moved=moved)
+        else:
+            for (key, bucket), load in zip(pairs, moved):
+                self._dht.put(key, bucket, records_moved=load)
         if survivor is None:
             raise IndexCorruptionError(
                 f"no plan leaf keeps name {origin_name!r}; the "

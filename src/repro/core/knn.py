@@ -47,12 +47,18 @@ class KnnEngine:
         dims: int,
         max_depth: int,
         cache: LeafCache | None = None,
+        *,
+        batched: bool = True,
     ) -> None:
         self._dht = dht
         self._dims = dims
         self._max_depth = max_depth
         self._cache = cache
-        self._ranges = RangeQueryEngine(dht, dims, max_depth, cache=cache)
+        # Ring expansions ride the same execution plane as plain range
+        # queries: each ring's frontier probes go out as one round.
+        self._ranges = RangeQueryEngine(
+            dht, dims, max_depth, cache=cache, batched=batched
+        )
 
     def query(self, point: Point, k: int) -> KnnResult:
         """Return the *k* records nearest to *point* (exact).

@@ -27,6 +27,13 @@ candidate prefix, so its outcome feeds the very same case analysis
 above and tightens the interval the fallback binary search starts
 from — correctness never depends on cache freshness, and every hint
 probe is metered like any other DHT-get.
+
+The search itself lives in :class:`PointLookupCursor`, a resumable
+state machine that exposes the *next key to probe* and consumes probe
+outcomes one at a time.  :func:`lookup_point` drives one cursor to
+completion sequentially; the range-query engine instead folds one step
+of every in-flight cursor into each of its parallel rounds, so
+concurrent fallback searches advance together with the frontier.
 """
 
 from __future__ import annotations
@@ -38,9 +45,155 @@ from repro.core.cache import LeafCache
 from repro.core.keys import bucket_key
 from repro.core.naming import name_run_end, naming_function
 from repro.core.results import LookupResult
-from repro.dht.api import Dht
+from repro.dht.api import Dht, DhtStats
 
-__all__ = ["LookupResult", "lookup_point"]
+__all__ = ["LookupResult", "PointLookupCursor", "lookup_point"]
+
+
+class PointLookupCursor:
+    """Resumable binary search for the leaf covering one point.
+
+    The cursor holds the search interval and, after construction or
+    each :meth:`advance`, the next candidate name to probe.  The caller
+    owns the DHT traffic: fetch :meth:`current_key`, feed the returned
+    bucket (or ``None``) back through :meth:`advance`, repeat until
+    :attr:`done`.  Splitting the state from the transport is what lets
+    the batched plane run many searches in lockstep — one ``get_many``
+    per search level instead of one ``get`` per probe.
+
+    Cache hint proposal happens at construction (and its miss/hit/stale
+    tallies land on *stats*), so concurrently-driven cursors all
+    propose against the same cache state regardless of execution order.
+    """
+
+    __slots__ = (
+        "_stats",
+        "_cache",
+        "_dims",
+        "_point",
+        "_candidate",
+        "_low",
+        "_high",
+        "_hint",
+        "_name",
+        "probes",
+        "result",
+    )
+
+    def __init__(
+        self,
+        stats: DhtStats,
+        point: Point,
+        dims: int,
+        max_depth: int,
+        *,
+        min_label_length: int | None = None,
+        max_label_length: int | None = None,
+        cache: LeafCache | None = None,
+    ) -> None:
+        self._stats = stats
+        self._cache = cache
+        self._dims = dims
+        self._point = check_point(point, dims)
+        self._candidate = candidate_string(self._point, max_depth)
+        self._low = dims + 1
+        self._high = len(self._candidate)
+        if min_label_length is not None:
+            self._low = max(self._low, min_label_length)
+        if max_label_length is not None:
+            self._high = min(self._high, max_label_length)
+        self.probes = 0
+        self.result: LookupResult | None = None
+        self._hint: str | None = None
+        self._name: str | None = None
+        if cache is not None:
+            hint = cache.propose(self._candidate, self._low, self._high)
+            if hint is None:
+                stats.cache_misses += 1
+            else:
+                self._hint = hint
+                self._name = naming_function(hint, dims)
+        if self._name is None:
+            self._select_mid()
+
+    @property
+    def done(self) -> bool:
+        """True once the covering leaf was found."""
+        return self.result is not None
+
+    def current_key(self) -> str:
+        """The DHT key the cursor wants probed next."""
+        assert self._name is not None, "cursor already done"
+        return bucket_key(self._name)
+
+    def _select_mid(self) -> None:
+        if self._low > self._high:
+            raise IndexCorruptionError(
+                f"lookup of {self._point} exhausted candidates; index "
+                "tree is inconsistent or max_depth is smaller than the "
+                "real tree depth"
+            )
+        mid = (self._low + self._high) // 2
+        self._name = naming_function(self._candidate[:mid], self._dims)
+
+    def advance(self, bucket) -> None:
+        """Consume the probe outcome for :meth:`current_key`."""
+        self.probes += 1
+        name = self._name
+
+        if self._hint is not None:
+            hint, self._hint = self._hint, None
+            if bucket is not None and bucket.covers(self._point):
+                self._stats.cache_hits += 1
+                self._cache.observe(bucket.label)
+                self.result = LookupResult(bucket, self.probes, self.probes)
+                self._name = None
+                return
+            # Stale: the cached leaf split or merged away.  The probe
+            # still proved a bound under the *current* tree (same case
+            # analysis as the binary search below), so fall back with a
+            # tightened interval.
+            self._stats.cache_stale += 1
+            self._cache.forget(hint)
+            if bucket is None:
+                # fmd(hint) is not internal: target length <= len(name).
+                self._high = min(self._high, len(name))
+            else:
+                # fmd(hint) is internal; its one named leaf is current
+                # (worth caching) but not the target: skip its whole
+                # candidate run.
+                self._cache.observe(bucket.label)
+                self._low = max(
+                    self._low,
+                    name_run_end(self._candidate, len(name), self._dims) + 1,
+                )
+            self._select_mid()
+            return
+
+        if bucket is None:
+            # fmd(c_mid) is not internal: target length <= len(name).
+            if len(name) < self._low:
+                raise IndexCorruptionError(
+                    f"lookup of {self._point}: miss at {name!r} "
+                    f"contradicts lower bound {self._low}"
+                )
+            self._high = len(name)
+        elif bucket.covers(self._point):
+            if self._cache is not None:
+                self._cache.observe(bucket.label)
+            self.result = LookupResult(bucket, self.probes, self.probes)
+            self._name = None
+            return
+        else:
+            # fmd(c_mid) is internal and its one named leaf is not the
+            # target: skip the whole candidate run named to it.
+            new_low = name_run_end(self._candidate, len(name), self._dims) + 1
+            if new_low <= self._low:
+                raise IndexCorruptionError(
+                    f"lookup of {self._point}: no progress at name {name!r}"
+                )
+            self._low = new_low
+        self._select_mid()
 
 
 def lookup_point(
@@ -64,72 +217,16 @@ def lookup_point(
     this lookup observes (the covering leaf, and any current leaf a
     stale probe happened to return).
     """
-    point = check_point(point, dims)
-    candidate = candidate_string(point, max_depth)
-    low = dims + 1
-    high = len(candidate)
-    if min_label_length is not None:
-        low = max(low, min_label_length)
-    if max_label_length is not None:
-        high = min(high, max_label_length)
-    probes = 0
-
-    if cache is not None:
-        hint = cache.propose(candidate, low, high)
-        if hint is None:
-            dht.stats.cache_misses += 1
-        else:
-            name = naming_function(hint, dims)
-            probes += 1
-            bucket = dht.get(bucket_key(name))
-            if bucket is not None and bucket.covers(point):
-                dht.stats.cache_hits += 1
-                cache.observe(bucket.label)
-                return LookupResult(bucket, probes, probes)
-            # Stale: the cached leaf split or merged away.  The probe
-            # still proved a bound under the *current* tree (same case
-            # analysis as the binary search below), so fall back with a
-            # tightened interval.
-            dht.stats.cache_stale += 1
-            cache.forget(hint)
-            if bucket is None:
-                # fmd(hint) is not internal: target length <= len(name).
-                high = min(high, len(name))
-            else:
-                # fmd(hint) is internal; its one named leaf is current
-                # (worth caching) but not the target: skip its whole
-                # candidate run.
-                cache.observe(bucket.label)
-                low = max(low, name_run_end(candidate, len(name), dims) + 1)
-
-    while low <= high:
-        mid = (low + high) // 2
-        name = naming_function(candidate[:mid], dims)
-        probes += 1
-        bucket = dht.get(bucket_key(name))
-        if bucket is None:
-            # fmd(c_mid) is not internal: target length <= len(name).
-            if len(name) < low:
-                raise IndexCorruptionError(
-                    f"lookup of {point}: miss at {name!r} contradicts "
-                    f"lower bound {low}"
-                )
-            high = len(name)
-        elif bucket.covers(point):
-            if cache is not None:
-                cache.observe(bucket.label)
-            return LookupResult(bucket, probes, probes)
-        else:
-            # fmd(c_mid) is internal and its one named leaf is not the
-            # target: skip the whole candidate run named to it.
-            new_low = name_run_end(candidate, len(name), dims) + 1
-            if new_low <= low:
-                raise IndexCorruptionError(
-                    f"lookup of {point}: no progress at name {name!r}"
-                )
-            low = new_low
-
-    raise IndexCorruptionError(
-        f"lookup of {point} exhausted candidates; index tree is "
-        "inconsistent or max_depth is smaller than the real tree depth"
+    cursor = PointLookupCursor(
+        dht.stats,
+        point,
+        dims,
+        max_depth,
+        min_label_length=min_label_length,
+        max_label_length=max_label_length,
+        cache=cache,
     )
+    while not cursor.done:
+        cursor.advance(dht.get(cursor.current_key()))
+    assert cursor.result is not None
+    return cursor.result

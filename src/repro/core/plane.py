@@ -1,0 +1,59 @@
+"""Execution planes: how query engines turn probe sets into DHT traffic.
+
+The m-LIGHT algorithms are described round-wise: each step produces a
+set of *independent* probes (Section 6's parallel subqueries, Fig. 7's
+lookahead frontier, one step of each in-flight fallback chain).  A
+plane decides how one round's probes hit the substrate:
+
+* :class:`SequentialPlane` issues them one ``get`` at a time — the
+  reference semantics every equivalence test compares against, and the
+  right plane for substrates or experiments that must observe each
+  probe individually.
+* :class:`BatchedPlane` issues each round as one
+  :meth:`~repro.dht.api.Dht.get_many`, so batch-capable substrates
+  execute the round concurrently and time-modelling substrates charge
+  the round its critical path instead of the sum of its probes.
+
+Both planes return one outcome per key in issuance order, so engines
+process identical outcomes in identical order: answers and per-element
+meters are the same on either plane, and only round structure
+(``batch_rounds``, simulated network rounds and latency) differs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.dht.api import Dht
+
+__all__ = ["BatchedPlane", "SequentialPlane", "make_plane"]
+
+
+class SequentialPlane:
+    """One metered ``get`` per probe, back-to-back."""
+
+    batched = False
+
+    def __init__(self, dht: Dht) -> None:
+        self._dht = dht
+
+    def get_round(self, keys: Sequence[str]) -> list[Any]:
+        return [self._dht.get(key) for key in keys]
+
+
+class BatchedPlane:
+    """One ``get_many`` per round of probes."""
+
+    batched = True
+
+    def __init__(self, dht: Dht) -> None:
+        self._dht = dht
+
+    def get_round(self, keys: Sequence[str]) -> list[Any]:
+        return self._dht.get_many(keys)
+
+
+def make_plane(dht: Dht, batched: bool) -> SequentialPlane | BatchedPlane:
+    """The plane matching an engine's ``batched`` flag."""
+    return BatchedPlane(dht) if batched else SequentialPlane(dht)

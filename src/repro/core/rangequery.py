@@ -57,8 +57,9 @@ from repro.common.labels import (
 from repro.core.bucket import LeafBucket
 from repro.core.cache import LeafCache
 from repro.core.keys import bucket_key
-from repro.core.lookup import lookup_point
+from repro.core.lookup import PointLookupCursor
 from repro.core.naming import naming_function
+from repro.core.plane import make_plane
 from repro.core.results import RangeQueryBuilder, RangeQueryResult
 from repro.dht.api import Dht
 
@@ -102,7 +103,14 @@ def compute_lca(query: Region, dims: int, max_depth: int) -> str:
 
 
 class RangeQueryEngine:
-    """Executes range queries; one instance per (dht, geometry)."""
+    """Executes range queries; one instance per (dht, geometry).
+
+    *batched* selects the execution plane: batched (the default) issues
+    each recursion level's independent probes as one
+    :meth:`~repro.dht.api.Dht.get_many` round, sequential issues one
+    ``get`` per probe.  Answers and per-element lookup meters are
+    identical either way — the plane only changes round structure.
+    """
 
     def __init__(
         self,
@@ -110,11 +118,14 @@ class RangeQueryEngine:
         dims: int,
         max_depth: int,
         cache: LeafCache | None = None,
+        *,
+        batched: bool = True,
     ) -> None:
         self._dht = dht
         self._dims = dims
         self._max_depth = max_depth
         self._cache = cache
+        self._plane = make_plane(dht, batched)
 
     def query(
         self, query: RegionLike, lookahead: int = 1
@@ -137,25 +148,76 @@ class RangeQueryEngine:
             )
         levels = lookahead.bit_length() - 1
         builder = RangeQueryBuilder()
+        batch_rounds_before = self._dht.stats.batch_rounds
         lca = compute_lca(query, self._dims, self._max_depth)
         tasks = [_Task(lca, query, root_label(self._dims))]
-        round_number = 0
-        while tasks:
-            round_number += 1
-            builder.rounds = max(builder.rounds, round_number)
-            next_tasks: list[_Task] = []
-            for task in tasks:
-                for frontier_task in self._expand(task, levels):
-                    self._probe(
-                        frontier_task, query, round_number, builder,
-                        next_tasks,
-                    )
-            tasks = next_tasks
+        pending: list[PointLookupCursor] = []
+        while tasks or pending:
+            tasks, pending = self._run_round(
+                tasks, pending, levels, query, builder
+            )
+        builder.batch_rounds = (
+            self._dht.stats.batch_rounds - batch_rounds_before
+        )
         return builder.build()
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _run_round(
+        self,
+        tasks: list[_Task],
+        pending: list[PointLookupCursor],
+        levels: int,
+        query: Region,
+        builder: RangeQueryBuilder,
+    ) -> tuple[list[_Task], list[PointLookupCursor]]:
+        """Issue one parallel round and dispatch its outcomes.
+
+        A round carries every independent probe in flight: the new
+        frontier (this wave's targets — branch regions are disjoint,
+        so their probes never depend on each other) plus the next step
+        of every fallback chain still running from earlier waves.  A
+        chain only depends on its own earlier probes, never on later
+        frontiers, so it advances *concurrently* with them — exactly
+        the paper's latency model, where ``rounds`` equals the number
+        of issued rounds: the longest chain pushes the loop exactly
+        ``len(chain)`` iterations past the wave that spawned it.
+
+        Targets that turn out missing open a point-lookup cursor
+        (Algorithm 2's fallback) whose first probe — dependent on this
+        round's miss — joins the *next* round.  Outcomes are processed
+        in issuance order, so collection order, and therefore the
+        result, is identical on both planes.
+        """
+        builder.open_round()
+        frontier: list[_Task] = []
+        for task in tasks:
+            frontier.extend(self._expand(task, levels))
+        keys = [
+            bucket_key(naming_function(task.target, self._dims))
+            for task in frontier
+        ]
+        step_keys = [cursor.current_key() for cursor in pending]
+        builder.lookups += len(keys) + len(step_keys)
+        outcomes = self._plane.get_round(keys + step_keys)
+
+        still_pending: list[PointLookupCursor] = []
+        for cursor, bucket in zip(pending, outcomes[len(keys):]):
+            cursor.advance(bucket)
+            if cursor.done:
+                self._collect(cursor.result.bucket, query, builder)
+            else:
+                still_pending.append(cursor)
+
+        next_tasks: list[_Task] = []
+        for task, bucket in zip(frontier, outcomes[: len(keys)]):
+            if bucket is None:
+                still_pending.append(self._fallback_cursor(task))
+            else:
+                self._dispatch(task, bucket, query, builder, next_tasks)
+        return next_tasks, still_pending
 
     def _expand(self, task: _Task, levels: int) -> list[_Task]:
         """Speculative frontier of *task* ``levels`` deeper (parallel
@@ -177,28 +239,20 @@ class RangeQueryEngine:
             frontier = deeper
         return frontier
 
-    def _probe(
+    def _dispatch(
         self,
         task: _Task,
+        bucket: LeafBucket,
         query: Region,
-        round_number: int,
         builder: RangeQueryBuilder,
         next_tasks: list[_Task],
     ) -> None:
-        """Issue one DHT-get for *task* and dispatch on the outcome."""
-        name = naming_function(task.target, self._dims)
-        builder.lookups += 1
-        bucket = self._dht.get(bucket_key(name))
-
-        if bucket is None:
-            # The target lies strictly below a leaf; find that leaf by a
-            # point lookup inside the subquery (Algorithm 2's fallback).
-            self._fallback_lookup(task, query, round_number, builder)
-            return
-
+        """Dispatch on one resolved probe outcome for *task*."""
         label = bucket.label
         if task.target.startswith(label):
             # Ancestor-or-self: this one leaf covers the whole subquery.
+            # (Fallback-resolved targets always land here: the covering
+            # leaf of a missing target is a proper ancestor of it.)
             self._collect(bucket, query, builder)
             return
         if label.startswith(task.target):
@@ -216,42 +270,34 @@ class RangeQueryEngine:
                     next_tasks.append(_Task(branch, clipped, branch))
             return
         raise IndexCorruptionError(
-            f"leaf {label!r} named {name!r} is not prefix-comparable "
-            f"with target {task.target!r}; the naming invariant is broken"
+            f"leaf {label!r} named "
+            f"{naming_function(task.target, self._dims)!r} is not "
+            f"prefix-comparable with target {task.target!r}; the naming "
+            "invariant is broken"
         )
 
-    def _fallback_lookup(
-        self,
-        task: _Task,
-        query: Region,
-        round_number: int,
-        builder: RangeQueryBuilder,
-    ) -> None:
-        """Point lookup for a missing target.
+    def _fallback_cursor(self, task: _Task) -> PointLookupCursor:
+        """Point-lookup cursor for a missing target.
 
         The covering leaf is a proper ancestor of the target and (when
         the target came from speculative expansion below a node known
         to exist) lies strictly below the task's anchor, so the search
         interval is at most the expansion depth — usually one probe.
         """
-        probe_point = task.subquery.lows
         min_length = None
         if task.target.startswith(task.anchor) and task.target != task.anchor:
             # The anchor exists (it may itself be the covering leaf),
             # so the target's covering leaf is no shorter than it.
             min_length = len(task.anchor)
-        found = lookup_point(
-            self._dht,
-            probe_point,
+        return PointLookupCursor(
+            self._dht.stats,
+            task.subquery.lows,
             self._dims,
             self._max_depth,
             min_label_length=min_length,
             max_label_length=len(task.target) - 1,
             cache=self._cache,
         )
-        builder.lookups += found.lookups
-        builder.rounds = max(builder.rounds, round_number + found.rounds)
-        self._collect(found.bucket, query, builder)
 
     def _collect(
         self, bucket: LeafBucket, query: Region, builder: RangeQueryBuilder

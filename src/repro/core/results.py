@@ -35,12 +35,18 @@ class LookupResult:
 
 @dataclass(frozen=True, slots=True)
 class RangeQueryResult:
-    """Records matching a range query, plus the paper's two costs."""
+    """Records matching a range query, plus the paper's two costs.
+
+    ``batch_rounds`` additionally reports how many batched DHT rounds
+    the query issued on the execution plane (0 under the sequential
+    plane) — a diagnostic for the round structure, not a paper metric.
+    """
 
     records: tuple[Record, ...] = ()
     lookups: int = 0
     rounds: int = 0
     visited_leaves: frozenset[str] = frozenset()
+    batch_rounds: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,6 +79,24 @@ class RangeQueryBuilder:
     lookups: int = 0
     rounds: int = 0
     visited_leaves: set[str] = field(default_factory=set)
+    batch_rounds: int = 0
+    waves: int = 0
+
+    def open_round(self) -> int:
+        """Account one issued round of parallel probes; return its depth.
+
+        ``rounds`` — the longest chain of *sequential* DHT-lookups — is
+        derived from round issuance, never hand-counted: the engine
+        opens exactly one round per loop iteration, every probe in
+        flight (frontier and fallback-chain steps alike) rides it, and
+        a chain spawned at depth ``d`` keeps the loop alive through
+        depth ``d + len(chain)``.  So the final ``rounds`` equals
+        ``max(waves, max_k(depth_k + chain_k))`` with no bookkeeping at
+        the call sites.
+        """
+        self.waves += 1
+        self.rounds = max(self.rounds, self.waves)
+        return self.waves
 
     def collect(self, label: str, matches: Iterable[Record]) -> bool:
         """Add one visited leaf's matching records exactly once.
@@ -93,4 +117,5 @@ class RangeQueryBuilder:
             lookups=self.lookups,
             rounds=self.rounds,
             visited_leaves=frozenset(self.visited_leaves),
+            batch_rounds=self.batch_rounds,
         )

@@ -17,12 +17,14 @@ split (Theorem 5): the surviving child keeps the dead bucket's key.
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any
 
-from repro.common.errors import DhtKeyError
+from repro.common.errors import DhtKeyError, NodeUnreachableError, ReproError
 
 #: Rough wire size of one record and of an object envelope, used only
 #: for network-level byte accounting (the paper's metrics count records
@@ -39,6 +41,38 @@ def estimate_wire_size(value: Any) -> int:
     return ENVELOPE_WIRE_BYTES
 
 
+@dataclass(frozen=True, slots=True)
+class BatchFailure:
+    """Per-element failure marker inside a batch outcome list.
+
+    The ``_do_*_many`` primitives never abort a whole batch on one
+    unreachable peer: they record the element's error in place and keep
+    going, so wrappers such as :class:`~repro.dht.retry.RetryingDht`
+    can retry exactly the failed subset (partial-failure semantics).
+    """
+
+    error: Exception
+
+
+_shared_executor: ThreadPoolExecutor | None = None
+
+
+def shared_executor() -> ThreadPoolExecutor:
+    """The process-wide executor batch-capable substrates dispatch on.
+
+    One pool for every substrate instance: batches from concurrent
+    indexes share it instead of spawning a thread storm.  Created
+    lazily so purely sequential runs never pay for threads.
+    """
+    global _shared_executor
+    if _shared_executor is None:
+        _shared_executor = ThreadPoolExecutor(
+            max_workers=min(32, 4 * (os.cpu_count() or 4)),
+            thread_name_prefix="repro-batch",
+        )
+    return _shared_executor
+
+
 @dataclass(slots=True)
 class DhtStats:
     """Index-level cost counters, shared by all substrates.
@@ -51,6 +85,15 @@ class DhtStats:
     bounds), ``cache_misses`` — lookups for which nothing useful was
     cached.  They are outcome tallies, not costs: every hint probe is
     already counted in ``lookups``/``gets``.
+
+    The batch counters meter the batched execution plane:
+    ``batch_rounds`` — how many ``*_many`` batches were issued (each is
+    one parallel message round; the per-element costs still land in
+    ``lookups``/``gets``/``puts``), ``batch_ops`` — how many elements
+    those batches carried.  ``retries`` counts retried attempts made by
+    a :class:`~repro.dht.retry.RetryingDht` wrapper (each retry is also
+    metered as a fresh lookup), and ``batch_retries`` the subset of
+    those retries that re-issued failed *batch* elements.
     """
 
     lookups: int = 0
@@ -62,6 +105,31 @@ class DhtStats:
     cache_hits: int = 0
     cache_stale: int = 0
     cache_misses: int = 0
+    batch_rounds: int = 0
+    batch_ops: int = 0
+    retries: int = 0
+    batch_retries: int = 0
+
+    def meter_batch(
+        self,
+        count: int,
+        *,
+        gets: int = 0,
+        puts: int = 0,
+        records_moved: int = 0,
+    ) -> None:
+        """Account one issued batch of *count* elements.
+
+        Every element embeds one DHT-lookup — the paper's bandwidth
+        measure stays per element; parallelism buys latency, never
+        bandwidth — while the batch itself counts as a single round.
+        """
+        self.lookups += count
+        self.gets += gets
+        self.puts += puts
+        self.records_moved += records_moved
+        self.batch_rounds += 1
+        self.batch_ops += count
 
     def snapshot(self) -> dict[str, int]:
         """Immutable copy of all counters."""
@@ -75,6 +143,10 @@ class DhtStats:
             "cache_hits": self.cache_hits,
             "cache_stale": self.cache_stale,
             "cache_misses": self.cache_misses,
+            "batch_rounds": self.batch_rounds,
+            "batch_ops": self.batch_ops,
+            "retries": self.retries,
+            "batch_retries": self.batch_retries,
         }
 
     def reset(self) -> None:
@@ -88,6 +160,10 @@ class DhtStats:
         self.cache_hits = 0
         self.cache_stale = 0
         self.cache_misses = 0
+        self.batch_rounds = 0
+        self.batch_ops = 0
+        self.retries = 0
+        self.batch_retries = 0
 
 
 class Dht(ABC):
@@ -135,6 +211,60 @@ class Dht(ABC):
         self.stats.removes += 1
         self.stats.records_moved += records_moved
         return self._do_remove(key)
+
+    # ------------------------------------------------------------------
+    # Batched operations (the round-parallel execution plane)
+    # ------------------------------------------------------------------
+    #
+    # A batch carries one recursion level's *independent* operations.
+    # Metering is per element — every element embeds a DHT-lookup, so
+    # the paper's bandwidth measure is unchanged — but the batch counts
+    # as one round: latency-wise the elements proceed in parallel, and
+    # substrates that model time advance their clock by the slowest
+    # element instead of the sum.  The default implementations fall
+    # back to sequential primitives so every substrate works unmodified.
+
+    def get_many(self, keys: Sequence[str]) -> list[Any | None]:
+        """Fetch several keys as one parallel round.
+
+        Costs one DHT-lookup per key (exactly like ``len(keys)``
+        individual gets) but a single batch round.  Raises the first
+        per-element error after the whole batch ran; wrappers that need
+        the failed subset use ``_do_get_many`` directly.
+        """
+        keys = list(keys)
+        if not keys:
+            return []
+        self.stats.meter_batch(len(keys), gets=len(keys))
+        return _raise_batch_failures(self._do_get_many(keys))
+
+    def put_many(
+        self,
+        items: Sequence[tuple[str, Any]],
+        *,
+        records_moved: Sequence[int] | None = None,
+    ) -> None:
+        """Store several (key, value) pairs as one parallel round.
+
+        *records_moved* optionally gives the per-item record transfer
+        (default: zero per item), aligned with *items*.
+        """
+        items = list(items)
+        if not items:
+            return
+        moved = _check_records_moved(items, records_moved)
+        self.stats.meter_batch(
+            len(items), puts=len(items), records_moved=sum(moved)
+        )
+        _raise_batch_failures(self._do_put_many(items))
+
+    def lookup_many(self, keys: Sequence[str]) -> list[str]:
+        """Locate the responsible peers for several keys in one round."""
+        keys = list(keys)
+        if not keys:
+            return []
+        self.stats.meter_batch(len(keys))
+        return _raise_batch_failures(self._do_lookup_many(keys))
 
     def rewrite_local(self, key: str, value: Any) -> None:
         """Replace the value at an existing key at zero metered cost.
@@ -189,3 +319,52 @@ class Dht(ABC):
 
     @abstractmethod
     def _do_contains(self, key: str) -> bool: ...
+
+    # ------------------------------------------------------------------
+    # Batch primitives (unmetered; overridable per substrate)
+    # ------------------------------------------------------------------
+    #
+    # Contract: one outcome per element, in order.  An element whose
+    # execution raised :class:`NodeUnreachableError` yields a
+    # :class:`BatchFailure` in its slot instead of aborting the batch —
+    # partial-failure semantics for retry wrappers.  Data errors
+    # (``DhtKeyError``) still propagate immediately: they are caller
+    # bugs, not transient network weather.
+
+    def _do_get_many(self, keys: Sequence[str]) -> list[Any]:
+        return [_capture(self._do_get, key) for key in keys]
+
+    def _do_put_many(self, items: Sequence[tuple[str, Any]]) -> list[Any]:
+        return [_capture(self._do_put, key, value) for key, value in items]
+
+    def _do_lookup_many(self, keys: Sequence[str]) -> list[Any]:
+        return [_capture(self._do_lookup, key) for key in keys]
+
+
+def _capture(operation, *args: Any) -> Any:
+    """Run one batch element, trapping unreachability in its slot."""
+    try:
+        return operation(*args)
+    except NodeUnreachableError as error:
+        return BatchFailure(error)
+
+
+def _raise_batch_failures(outcomes: list[Any]) -> list[Any]:
+    """Surface the first per-element failure, or pass outcomes through."""
+    for outcome in outcomes:
+        if isinstance(outcome, BatchFailure):
+            raise outcome.error
+    return outcomes
+
+
+def _check_records_moved(
+    items: Sequence[tuple[str, Any]], records_moved: Sequence[int] | None
+) -> list[int]:
+    if records_moved is None:
+        return [0] * len(items)
+    moved = list(records_moved)
+    if len(moved) != len(items):
+        raise ReproError(
+            f"records_moved has {len(moved)} entries for {len(items)} items"
+        )
+    return moved

@@ -1,0 +1,54 @@
+"""Batch primitives for overlays that route over a simulated network.
+
+The routed substrates (Chord, Pastry, Kademlia) execute one batch
+element as a *chain* of dependent RPCs — every routing hop plus the
+storage exchange.  Chains of one batch are independent, so the mixin
+runs the whole batch inside a single
+:meth:`~repro.net.simnet.SimNetwork.message_round`: each element's
+RPC latencies sum along its own chain, and the event clock advances by
+the slowest chain instead of the sum.  That is the structural latency
+model of round-parallel dissemination — a recursion level costs one
+message round, whatever its fan-out.
+
+Elements run in deterministic submission order (simulated time, not
+wall-clock, is where an overlay's parallelism shows), and a peer that
+turns out dead or partitioned mid-batch fails only its own slot: the
+outcome list carries a :class:`~repro.dht.api.BatchFailure` there so
+retry wrappers can re-issue exactly the failed subset.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.dht.api import _capture
+from repro.net.simnet import SimNetwork
+
+
+class NetworkRoundBatchMixin:
+    """Round-parallel ``_do_*_many`` for substrates with a ``network``.
+
+    Mix in before :class:`~repro.dht.api.Dht`; the host class supplies
+    ``network`` (a :class:`SimNetwork`) plus the sequential ``_do_*``
+    primitives the chains are built from.
+    """
+
+    network: SimNetwork
+
+    def _run_round(self, operation, calls: Sequence[tuple]) -> list[Any]:
+        outcomes: list[Any] = []
+        with self.network.message_round() as round_:
+            for args in calls:
+                with round_.chain():
+                    outcomes.append(_capture(operation, *args))
+        return outcomes
+
+    def _do_get_many(self, keys: Sequence[str]) -> list[Any]:
+        return self._run_round(self._do_get, [(key,) for key in keys])
+
+    def _do_put_many(self, items: Sequence[tuple[str, Any]]) -> list[Any]:
+        return self._run_round(self._do_put, [tuple(item) for item in items])
+
+    def _do_lookup_many(self, keys: Sequence[str]) -> list[Any]:
+        return self._run_round(self._do_lookup, [(key,) for key in keys])

@@ -23,6 +23,7 @@ from typing import Any
 
 from repro.common.errors import DhtKeyError, ReproError
 from repro.dht.api import Dht, estimate_wire_size
+from repro.dht.batching import NetworkRoundBatchMixin
 from repro.dht.hashing import (
     ID_BITS,
     ID_SPACE,
@@ -230,7 +231,7 @@ class ChordNode:
             self.predecessor = None
 
 
-class ChordDht(Dht):
+class ChordDht(NetworkRoundBatchMixin, Dht):
     """The :class:`~repro.dht.api.Dht` facade over a Chord ring.
 
     *replication* > 1 stores each key on the owner plus that many minus

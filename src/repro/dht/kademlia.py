@@ -22,6 +22,7 @@ from typing import Any
 
 from repro.common.errors import DhtKeyError, ReproError
 from repro.dht.api import Dht, estimate_wire_size
+from repro.dht.batching import NetworkRoundBatchMixin
 from repro.dht.hashing import key_digest, node_id_from_name, xor_distance
 from repro.dht.storage import PeerStore
 from repro.net.message import Message
@@ -119,7 +120,7 @@ class KademliaNode:
         return key in self.store
 
 
-class KademliaDht(Dht):
+class KademliaDht(NetworkRoundBatchMixin, Dht):
     """The :class:`~repro.dht.api.Dht` facade over a Kademlia overlay."""
 
     def __init__(self, network: SimNetwork | None = None) -> None:

@@ -21,6 +21,7 @@ from typing import Any
 
 from repro.common.errors import DhtKeyError, ReproError
 from repro.dht.api import Dht, estimate_wire_size
+from repro.dht.batching import NetworkRoundBatchMixin
 from repro.dht.hashing import ID_BITS, key_digest, node_id_from_name
 from repro.dht.storage import PeerStore
 from repro.net.message import Message
@@ -201,7 +202,7 @@ class PastryNode:
         )
 
 
-class PastryDht(Dht):
+class PastryDht(NetworkRoundBatchMixin, Dht):
     """The :class:`~repro.dht.api.Dht` facade over a Pastry overlay."""
 
     def __init__(self, network: SimNetwork | None = None) -> None:

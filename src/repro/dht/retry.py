@@ -11,11 +11,16 @@ ground truth — and the retry counter is exposed for observability.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from typing import Any
 
 from repro.common.errors import NodeUnreachableError, ReproError
-from repro.dht.api import Dht
+from repro.dht.api import (
+    BatchFailure,
+    Dht,
+    _check_records_moved,
+    _raise_batch_failures,
+)
 
 
 class RetryingDht(Dht):
@@ -33,7 +38,6 @@ class RetryingDht(Dht):
             raise ReproError(f"attempts must be >= 1, got {attempts}")
         self._inner = inner
         self._attempts = attempts
-        self.retries = 0
         # Share the inner stats object so every attempt is metered in
         # one place and index layers keep reading the usual counters.
         self.stats = inner.stats
@@ -43,6 +47,11 @@ class RetryingDht(Dht):
         """The wrapped substrate."""
         return self._inner
 
+    @property
+    def retries(self) -> int:
+        """Total retried attempts, mirrored from the shared stats."""
+        return self.stats.retries
+
     def _with_retries(self, operation, *args, **kwargs):
         last_error: Exception | None = None
         for attempt in range(self._attempts):
@@ -51,7 +60,7 @@ class RetryingDht(Dht):
             except NodeUnreachableError as error:
                 last_error = error
                 if attempt + 1 < self._attempts:
-                    self.retries += 1
+                    self.stats.retries += 1
         assert last_error is not None
         raise last_error
 
@@ -73,6 +82,77 @@ class RetryingDht(Dht):
     def remove(self, key: str, *, records_moved: int = 0) -> Any:
         return self._with_retries(
             self._inner.remove, key, records_moved=records_moved
+        )
+
+    # ------------------------------------------------------------------
+    # Batched operations: retry only the failed subset
+    # ------------------------------------------------------------------
+    #
+    # The inner ``_do_*_many`` primitives report per-element outcomes
+    # (partial-failure semantics), so a retry round re-issues exactly
+    # the elements that failed — as its own batch round, because on the
+    # wire it is one.  Every attempt is metered per element, retried
+    # elements included: a retry really does cost another DHT-lookup.
+
+    def _batch_with_retries(self, primitive, elements, meter):
+        outcomes: list[Any] = [None] * len(elements)
+        pending = list(range(len(elements)))
+        for attempt in range(self._attempts):
+            if attempt:
+                self.stats.retries += len(pending)
+                self.stats.batch_retries += len(pending)
+            meter(pending)
+            results = primitive([elements[slot] for slot in pending])
+            failed = []
+            for slot, outcome in zip(pending, results):
+                outcomes[slot] = outcome
+                if isinstance(outcome, BatchFailure):
+                    failed.append(slot)
+            pending = failed
+            if not pending:
+                break
+        return _raise_batch_failures(outcomes)
+
+    def get_many(self, keys: Sequence[str]) -> list[Any | None]:
+        keys = list(keys)
+        if not keys:
+            return []
+        return self._batch_with_retries(
+            self._inner._do_get_many,
+            keys,
+            lambda pending: self.stats.meter_batch(
+                len(pending), gets=len(pending)
+            ),
+        )
+
+    def put_many(
+        self,
+        items: Sequence[tuple[str, Any]],
+        *,
+        records_moved: Sequence[int] | None = None,
+    ) -> None:
+        items = list(items)
+        if not items:
+            return
+        moved = _check_records_moved(items, records_moved)
+        self._batch_with_retries(
+            self._inner._do_put_many,
+            items,
+            lambda pending: self.stats.meter_batch(
+                len(pending),
+                puts=len(pending),
+                records_moved=sum(moved[slot] for slot in pending),
+            ),
+        )
+
+    def lookup_many(self, keys: Sequence[str]) -> list[str]:
+        keys = list(keys)
+        if not keys:
+            return []
+        return self._batch_with_retries(
+            self._inner._do_lookup_many,
+            keys,
+            lambda pending: self.stats.meter_batch(len(pending)),
         )
 
     def rewrite_local(self, key: str, value: Any) -> None:

@@ -15,6 +15,8 @@ is deterministic under a fixed seed.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
 from typing import Any
 
 from repro.common.errors import NodeUnreachableError
@@ -27,6 +29,51 @@ from repro.net.stats import NetworkStats
 
 class RpcError(NodeUnreachableError):
     """An RPC failed to reach its destination (crash, drop, partition)."""
+
+
+class MessageRound:
+    """Latency bookkeeping for one parallel round of RPC chains.
+
+    A *chain* is one batch element's sequence of dependent RPCs (e.g.
+    every routing hop of one ``get``); its latency is the sum of its
+    round trips.  Chains of one round are independent, so the round's
+    latency — what the clock advances by at round end — is the *max*
+    over chains, not the sum.  RPCs issued inside the round but outside
+    any chain count as single-RPC chains.
+    """
+
+    __slots__ = ("_chains", "_open")
+
+    def __init__(self) -> None:
+        self._chains: list[float] = []
+        self._open = False
+
+    @contextmanager
+    def chain(self) -> Iterator[None]:
+        """Scope one batch element's dependent RPC sequence."""
+        self._chains.append(0.0)
+        self._open = True
+        try:
+            yield
+        finally:
+            self._open = False
+
+    def add_latency(self, round_trip: float) -> None:
+        """Charge one RPC's round trip to the current chain."""
+        if self._open:
+            self._chains[-1] += round_trip
+        else:
+            self._chains.append(round_trip)
+
+    @property
+    def fanout(self) -> int:
+        """Number of independent chains the round carried so far."""
+        return len(self._chains)
+
+    @property
+    def critical_path(self) -> float:
+        """The slowest chain's latency (0.0 for an empty round)."""
+        return max(self._chains, default=0.0)
 
 
 class SimNetwork:
@@ -49,6 +96,7 @@ class SimNetwork:
         self._partitions: set[frozenset[str]] = set()
         self.stats = NetworkStats()
         self.clock = EventScheduler()
+        self._round: MessageRound | None = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -126,18 +174,79 @@ class SimNetwork:
         result = handler.handle_rpc(request)
         self.stats.record_message(method + ":reply", 0)
         round_trip = self._latency.delay(src, dst) + self._latency.delay(dst, src)
-        self.clock.run_until(self.clock.now + round_trip)
+        if self._round is not None:
+            self._round.add_latency(round_trip)
+        else:
+            self.clock.advance(round_trip)
         return result
 
+    @contextmanager
+    def message_round(self) -> Iterator[MessageRound]:
+        """Scope one parallel message round.
+
+        Every RPC issued inside the ``with`` block charges its latency
+        to the round instead of the clock; group dependent RPCs with
+        :meth:`MessageRound.chain`.  On exit the clock advances once by
+        the round's critical path (the slowest chain) — the latency
+        model of multicast-style parallel dissemination, where a
+        recursion level costs one round regardless of fan-out.  Nested
+        rounds flatten into the enclosing round's current chain: a
+        handler that batches internally is still part of one dependent
+        sequence as seen from the outer round.
+        """
+        if self._round is not None:
+            yield self._round
+            return
+        round_ = MessageRound()
+        self._round = round_
+        try:
+            yield round_
+        finally:
+            self._round = None
+            self.clock.advance(round_.critical_path)
+            self.stats.record_round(round_.fanout, round_.critical_path)
+
+    def broadcast_round(
+        self,
+        src: str,
+        requests: Sequence[tuple],
+        *,
+        best_effort: bool = False,
+    ) -> list[Any]:
+        """Deliver several RPCs as one parallel message round.
+
+        *requests* is a sequence of ``(dst, method, *args)`` tuples.
+        Results come back in request order; the clock advances once, by
+        the slowest delivery.  With *best_effort* a failed delivery
+        yields ``None`` in its slot instead of raising.
+        """
+        results: list[Any] = []
+        with self.message_round() as round_:
+            for dst, method, *args in requests:
+                with round_.chain():
+                    try:
+                        results.append(self.rpc(src, dst, method, *args))
+                    except RpcError:
+                        if not best_effort:
+                            raise
+                        results.append(None)
+        return results
+
     def broadcast(self, src: str, method: str, *args: Any, **kwargs: Any) -> int:
-        """Best-effort RPC to every live peer; returns delivery count."""
+        """Best-effort RPC to every live peer; returns delivery count.
+
+        Deliveries ride one message round: the clock advances by the
+        slowest delivery, not the sum — a broadcast is one round.
+        """
         delivered = 0
-        for address in self.addresses():
-            if address == src:
-                continue
-            try:
-                self.rpc(src, address, method, *args, **kwargs)
-            except RpcError:
-                continue
-            delivered += 1
+        with self.message_round() as round_:
+            for address in self.addresses():
+                if address == src:
+                    continue
+                with round_.chain():
+                    try:
+                        self.rpc(src, address, method, *args, **kwargs)
+                    except RpcError:
+                        continue
+                delivered += 1
         return delivered

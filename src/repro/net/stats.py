@@ -21,6 +21,10 @@ class NetworkStats:
     bytes_sent: int = 0
     dropped: int = 0
     rpc_calls: int = 0
+    rounds: int = 0
+    round_messages: int = 0
+    max_round_fanout: int = 0
+    critical_path_latency: float = 0.0
     per_type: dict[str, int] = field(default_factory=dict)
 
     def record_message(self, msg_type: str, size_bytes: int) -> None:
@@ -37,13 +41,35 @@ class NetworkStats:
         """Account one request/response exchange."""
         self.rpc_calls += 1
 
-    def snapshot(self) -> dict[str, int]:
+    def record_round(self, fanout: int, latency: float) -> None:
+        """Account one parallel message round.
+
+        *fanout* — how many independent RPC chains the round carried;
+        *latency* — the slowest chain's total round-trip latency, the
+        round's critical path (what the clock advanced by).
+        """
+        self.rounds += 1
+        self.round_messages += fanout
+        self.max_round_fanout = max(self.max_round_fanout, fanout)
+        self.critical_path_latency += latency
+
+    def mean_round_fanout(self) -> float:
+        """Average chains per message round (0.0 before any round)."""
+        if not self.rounds:
+            return 0.0
+        return self.round_messages / self.rounds
+
+    def snapshot(self) -> dict[str, float]:
         """Return an immutable copy of the headline counters."""
         return {
             "messages": self.messages,
             "bytes_sent": self.bytes_sent,
             "dropped": self.dropped,
             "rpc_calls": self.rpc_calls,
+            "rounds": self.rounds,
+            "round_messages": self.round_messages,
+            "max_round_fanout": self.max_round_fanout,
+            "critical_path_latency": self.critical_path_latency,
         }
 
     def reset(self) -> None:
@@ -52,4 +78,8 @@ class NetworkStats:
         self.bytes_sent = 0
         self.dropped = 0
         self.rpc_calls = 0
+        self.rounds = 0
+        self.round_messages = 0
+        self.max_round_fanout = 0
+        self.critical_path_latency = 0.0
         self.per_type.clear()

@@ -1,0 +1,82 @@
+"""Targeted validation tests for IndexConfig's numeric fields.
+
+Misconfiguration should fail at construction with a message naming the
+field, the constraint, and the offending value — not surface later as
+a silent behaviour change deep inside an experiment.
+"""
+
+import random
+
+import pytest
+
+from repro.common.config import IndexConfig
+from repro.common.errors import ReproError
+from repro.core.index import MLightIndex
+from repro.dht.localhash import LocalDht
+
+
+class TestCacheCapacity:
+    def test_negative_rejected_with_message(self):
+        with pytest.raises(
+            ReproError, match=r"cache_capacity must be >= 0.*got -1"
+        ):
+            IndexConfig(cache_capacity=-1)
+
+    def test_zero_disables_the_cache(self):
+        index = MLightIndex(LocalDht(8), IndexConfig(cache_capacity=0))
+        assert index.cache is None
+
+    def test_positive_builds_a_cache(self):
+        index = MLightIndex(LocalDht(8), IndexConfig(cache_capacity=16))
+        assert index.cache is not None
+
+
+class TestDefaultLookahead:
+    @pytest.mark.parametrize("bad", [0, -1, -4, 3, 6, 12, 100])
+    def test_non_powers_of_two_rejected(self, bad):
+        with pytest.raises(
+            ReproError, match=r"default_lookahead must be a power of two"
+        ):
+            IndexConfig(default_lookahead=bad)
+
+    def test_message_names_the_offending_value(self):
+        with pytest.raises(ReproError, match=r"got 3"):
+            IndexConfig(default_lookahead=3)
+
+    @pytest.mark.parametrize("good", [1, 2, 4, 8, 16])
+    def test_powers_of_two_accepted(self, good):
+        assert IndexConfig(default_lookahead=good).default_lookahead == good
+
+    def test_range_query_uses_the_configured_default(self):
+        """``range_query`` with no explicit lookahead must follow the
+        config: the wider speculative frontier spends more lookups on
+        the same query, which is observable without touching internals."""
+        rng = random.Random(2)
+        points = [(rng.random(), rng.random()) for _ in range(300)]
+        query = ((0.05, 0.05), (0.9, 0.9))
+        lookups = {}
+        for lookahead in (1, 4):
+            config = IndexConfig(
+                dims=2, max_depth=12, split_threshold=10,
+                merge_threshold=5, default_lookahead=lookahead,
+            )
+            index = MLightIndex(LocalDht(8), config)
+            index.insert_many(points)
+            defaulted = index.range_query(query)
+            explicit = index.range_query(query, lookahead=lookahead)
+            assert defaulted.lookups == explicit.lookups
+            assert defaulted.rounds == explicit.rounds
+            lookups[lookahead] = defaulted.lookups
+        assert lookups[4] > lookups[1]
+
+
+class TestExecutionPlane:
+    def test_unknown_plane_rejected_with_message(self):
+        with pytest.raises(
+            ReproError, match=r"unknown execution plane 'threaded'"
+        ):
+            IndexConfig(execution="threaded")
+
+    @pytest.mark.parametrize("plane", ["batched", "sequential"])
+    def test_known_planes_accepted(self, plane):
+        assert IndexConfig(execution=plane).execution == plane

@@ -171,3 +171,32 @@ class TestEfficiency:
         for _ in range(10):
             result = engine.query(random_query(rng, 2))
             assert result.rounds <= deepest + 2
+
+    def test_fallback_chain_extends_rounds(self):
+        """A missing target's point-lookup fallback is a *sequential*
+        probe chain; its full length must land in the latency measure,
+        not just the wave that spawned it."""
+        dht = LocalDht(4)
+        bucket = LeafBucket(root_label(2), 2)
+        bucket.add(Record((0.31, 0.41), "a"))
+        dht.put(bucket_key("00"), bucket)
+        engine = RangeQueryEngine(dht, 2, 12)
+        # A tiny query deep below the lone root leaf: the LCA probe
+        # misses, and everything after it is one fallback binary
+        # search — so every single lookup was on the critical path.
+        result = engine.query(Region((0.3, 0.4), (0.32, 0.42)))
+        assert [r.value for r in result.records] == ["a"]
+        assert result.rounds == result.lookups > 1
+
+    @pytest.mark.parametrize("lookahead", [1, 4])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_rounds_equal_issued_batches(self, lookahead, seed):
+        """``rounds`` is derived from issuance: on the batched plane the
+        engine opens exactly one builder round per issued batch, with
+        fallback chain steps riding the same rounds as the frontier."""
+        rng = random.Random(seed)
+        dht, leaves, points = build_populated_tree(rng, 2, 10, 300)
+        engine = RangeQueryEngine(dht, 2, 10, batched=True)
+        for _ in range(5):
+            result = engine.query(random_query(rng, 2), lookahead)
+            assert result.rounds == result.batch_rounds > 0
