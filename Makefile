@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test bench bench-smoke bench-full experiments experiments-full clean
+.PHONY: install lint test bench bench-smoke bench-hotpath bench-full experiments experiments-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -18,6 +18,9 @@ bench:
 
 bench-smoke:
 	REPRO_BENCH_SIZE=2000 $(PYTHON) -m pytest benchmarks/ -m smoke
+
+bench-hotpath:
+	REPRO_BENCH_SIZE=12000 $(PYTHON) -m pytest benchmarks/test_hotpath.py
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -41,6 +41,7 @@ from repro.common.geometry import (
     region_of_bits,
 )
 from repro.common.labels import interleave
+from repro.core.columnar import ColumnStore
 from repro.core.records import Record
 from repro.core.results import RangeQueryBuilder, RangeQueryResult
 from repro.baselines.interface import OverDhtIndex
@@ -65,10 +66,27 @@ class DstNode:
     prefix: str
     records: list[Record] = field(default_factory=list)
     saturated: bool = False
+    #: Lazily built columnar filter; dropped on record mutation.
+    _columns: ColumnStore | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def load(self) -> int:
         return len(self.records)
+
+    def touch(self) -> None:
+        """Invalidate derived state after mutating ``records``."""
+        self._columns = None
+
+    def matching(self, query: Region, dims: int) -> list[Record]:
+        """Records inside the closed *query*, via the columnar store
+        (sorted on the cell's next split dimension)."""
+        store = self._columns
+        if store is None or store.count != len(self.records):
+            store = ColumnStore(self.records, dims, len(self.prefix) % dims)
+            self._columns = store
+        return store.matching(self.records, query.lows, query.highs)
 
 
 class DstIndex(OverDhtIndex):
@@ -121,6 +139,7 @@ class DstIndex(OverDhtIndex):
                     self.dht.rewrite_local(_key(prefix), node)
                 continue
             node.records.append(record)
+            node.touch()
             self.dht.stats.records_moved += 1
             self.dht.rewrite_local(_key(prefix), node)
 
@@ -143,6 +162,7 @@ class DstIndex(OverDhtIndex):
                     break
             if victim is not None:
                 node.records.remove(victim)
+                node.touch()
                 self.dht.rewrite_local(_key(prefix), node)
                 removed_any = True
         return removed_any
@@ -206,11 +226,7 @@ class DstIndex(OverDhtIndex):
         if node.prefix in builder.visited_leaves:
             return
         builder.visited_leaves.add(node.prefix)
-        builder.records.extend(
-            record
-            for record in node.records
-            if query.contains_point_closed(record.key)
-        )
+        builder.records.extend(node.matching(query, self._dims))
 
     # ------------------------------------------------------------------
     # Oracle access

@@ -34,6 +34,7 @@ from repro.common.geometry import (
     region_of_bits,
 )
 from repro.common.labels import interleave
+from repro.core.columnar import ColumnStore
 from repro.core.records import Record
 from repro.core.results import RangeQueryBuilder, RangeQueryResult
 from repro.baselines.interface import OverDhtIndex
@@ -55,10 +56,28 @@ class PhtNode:
     records: list[Record] = field(default_factory=list)
     prev_leaf: str | None = None
     next_leaf: str | None = None
+    #: Lazily built columnar filter; dropped on record mutation.
+    _columns: ColumnStore | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def load(self) -> int:
         return len(self.records)
+
+    def touch(self) -> None:
+        """Invalidate derived state after mutating ``records``."""
+        self._columns = None
+
+    def matching(self, query: Region, dims: int) -> list[Record]:
+        """Records inside the closed *query*, via the columnar store
+        (the trie shares the kd split cycle, so the cell's next split
+        dimension orders the store)."""
+        store = self._columns
+        if store is None or store.count != len(self.records):
+            store = ColumnStore(self.records, dims, len(self.prefix) % dims)
+            self._columns = store
+        return store.matching(self.records, query.lows, query.highs)
 
 
 class PhtIndex(OverDhtIndex):
@@ -104,6 +123,7 @@ class PhtIndex(OverDhtIndex):
         record = Record.make(key, value, dims=self._dims)
         leaf, _ = self.lookup(record.key)
         leaf.records.append(record)
+        leaf.touch()
         self.dht.stats.records_moved += 1
         self.dht.rewrite_local(_key(leaf.prefix), leaf)
         if leaf.load > self._config.split_threshold:
@@ -120,6 +140,7 @@ class PhtIndex(OverDhtIndex):
         if victim is None:
             return False
         leaf.records.remove(victim)
+        leaf.touch()
         self.dht.rewrite_local(_key(leaf.prefix), leaf)
         self._maybe_merge(leaf)
         return True
@@ -340,14 +361,7 @@ class PhtIndex(OverDhtIndex):
     ) -> None:
         if leaf.prefix in builder.visited_leaves:
             return
-        builder.collect(
-            leaf.prefix,
-            (
-                record
-                for record in leaf.records
-                if query.contains_point_closed(record.key)
-            ),
-        )
+        builder.collect(leaf.prefix, leaf.matching(query, self._dims))
 
     # ------------------------------------------------------------------
     # Oracle access

@@ -26,6 +26,11 @@ from repro.common.labels import (
     split_dimension,
     interleave,
     candidate_string,
+    PackedLabel,
+    pack_label,
+    unpack_label,
+    packed_candidate,
+    packed_interleave,
 )
 from repro.common.geometry import (
     Point,
@@ -54,6 +59,11 @@ __all__ = [
     "split_dimension",
     "interleave",
     "candidate_string",
+    "PackedLabel",
+    "pack_label",
+    "unpack_label",
+    "packed_candidate",
+    "packed_interleave",
     "Point",
     "Region",
     "unit_region",

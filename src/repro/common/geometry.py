@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Sequence
+from functools import lru_cache
 
 from repro.common.errors import (
     InvalidLabelError,
@@ -106,7 +107,17 @@ class Region:
     # ------------------------------------------------------------------
 
     def contains_point(self, point: Sequence[float]) -> bool:
-        """Half-open containment: ``low <= p < high`` per dimension."""
+        """Half-open containment: ``low <= p < high`` per dimension.
+
+        Raises :class:`InvalidPointError` on arity mismatch — ``zip``
+        would otherwise silently truncate, letting a 1-D point "match"
+        a 2-D region.
+        """
+        if len(point) != len(self.lows):
+            raise InvalidPointError(
+                f"point {tuple(point)!r} has {len(point)} coordinates, "
+                f"region has {len(self.lows)} dimensions"
+            )
         return all(
             low <= value < high
             for value, low, high in zip(point, self.lows, self.highs)
@@ -140,7 +151,16 @@ class Region:
     # ------------------------------------------------------------------
 
     def contains_point_closed(self, point: Sequence[float]) -> bool:
-        """Closed containment: ``low <= p <= high`` per dimension."""
+        """Closed containment: ``low <= p <= high`` per dimension.
+
+        Raises :class:`InvalidPointError` on arity mismatch (same
+        guard as :meth:`contains_point`).
+        """
+        if len(point) != len(self.lows):
+            raise InvalidPointError(
+                f"point {tuple(point)!r} has {len(point)} coordinates, "
+                f"region has {len(self.lows)} dimensions"
+            )
         return all(
             low <= value <= high
             for value, low, high in zip(point, self.lows, self.highs)
@@ -249,6 +269,12 @@ def region_of_label(label: str, dims: int) -> Region:
     Walks the edge bits below the ordinary root, halving dimension
     ``depth % m`` at each step (the alternating splits of Fig. 1a).  The
     virtual root and the ordinary root both cover the whole space.
+
+    Derivations are memoized (regions are frozen, so sharing is safe):
+    repeated geometry of the same label — every ``LeafBucket.region``
+    access, every range-query frontier expansion — costs one cache hit,
+    and a *new* label costs one :meth:`Region.split` off its cached
+    parent instead of a from-scratch root walk.
     """
     # Import here to avoid a cycle: labels.py is independent of geometry.
     from repro.common import labels as _labels
@@ -257,7 +283,7 @@ def region_of_label(label: str, dims: int) -> Region:
         raise InvalidLabelError(
             f"{label!r} is not a valid label for {dims}-dimensional data"
         )
-    return region_of_bits(label[dims + 1:], dims)
+    return _cell_of_bits(label[dims + 1:], dims)
 
 
 def region_of_bits(bits: str, dims: int) -> Region:
@@ -267,11 +293,19 @@ def region_of_bits(bits: str, dims: int) -> Region:
     lower half, ``'1'`` the upper half.  Used both for kd-tree labels
     (with the root prefix stripped) and for z-order prefixes in the
     PHT/DST baselines — the two trees share one space partition.
+    Memoized like :func:`region_of_label`.
     """
-    region = unit_region(dims)
-    for depth, bit in enumerate(bits):
+    for bit in bits:
         if bit not in "01":
             raise InvalidLabelError(f"invalid bit {bit!r} in {bits!r}")
-        lower, upper = region.split(depth % dims)
-        region = upper if bit == "1" else lower
-    return region
+    return _cell_of_bits(bits, dims)
+
+
+@lru_cache(maxsize=1 << 16)
+def _cell_of_bits(bits: str, dims: int) -> Region:
+    """Memoized cell derivation; recursion makes every prefix's cell a
+    cache entry, so a child is one split off its cached parent."""
+    if not bits:
+        return unit_region(dims)
+    lower, upper = _cell_of_bits(bits[:-1], dims).split((len(bits) - 1) % dims)
+    return upper if bits[-1] == "1" else lower

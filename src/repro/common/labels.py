@@ -18,6 +18,20 @@ the paper rely on.
 Labels are plain Python ``str`` values.  They are hashable, cheap, and
 directly usable as DHT keys, which keeps the whole stack explicit.
 
+Packed fast path
+----------------
+The ``str`` form is the canonical external representation, but the
+per-character loops it forces are the CPU bottleneck of the hot loops
+(one ``candidate_string`` per lookup, one naming scan per probe).  The
+``packed_*`` family below mirrors every label operation on a
+**bit-packed** form — ``(bits, length)`` where ``bits`` is the label
+read as a big-endian binary integer — so the inner loops become O(1)
+integer arithmetic (shifts, xors, table-driven Morton spreads) and the
+string is materialised once at the edge with a single ``format`` call.
+``pack_label``/``unpack_label`` convert between the two forms;
+``tests/test_hotpath_equivalence.py`` asserts bit-identical behaviour
+against the string implementations on randomized workloads.
+
 Coordinate convention
 ---------------------
 We interleave dimension 0 first (standard Morton order).  The paper's
@@ -192,15 +206,16 @@ def interleave(point: Sequence[float], depth: int) -> str:
     ``k // m + 1`` of coordinate ``k % m``.  Prefixes of the result,
     appended to the root label, enumerate the cells containing *point*
     from the whole space downward.
+
+    The bits are computed on the packed integer fast path
+    (:func:`packed_interleave`) and rendered with one ``format`` call;
+    :func:`coordinate_bits` remains the per-character reference the
+    equivalence tests check against.
     """
-    dims = len(point)
-    _check_dims(dims)
-    per_dim = -(-depth // dims) if depth else 0  # ceil division
-    expansions = [coordinate_bits(value, per_dim) for value in point]
-    out = []
-    for k in range(depth):
-        out.append(expansions[k % dims][k // dims])
-    return "".join(out)
+    bits, length = packed_interleave(point, depth)
+    if length == 0:
+        return ""
+    return format(bits, f"0{length}b")
 
 
 def candidate_string(point: Sequence[float], max_depth: int) -> str:
@@ -210,8 +225,8 @@ def candidate_string(point: Sequence[float], max_depth: int) -> str:
     the leaf bucket covering *point* is labelled by exactly one prefix
     of this string of length at least ``m + 1``.
     """
-    dims = len(point)
-    return root_label(dims) + interleave(point, max_depth)
+    bits, length = packed_candidate(point, max_depth)
+    return format(bits, f"0{length}b")
 
 
 def common_prefix(first: str, second: str) -> str:
@@ -221,6 +236,199 @@ def common_prefix(first: str, second: str) -> str:
         if first[position] != second[position]:
             return first[:position]
     return first[:limit]
+
+
+# ----------------------------------------------------------------------
+# Packed fast path: labels as (bits, length) integers
+# ----------------------------------------------------------------------
+
+#: A bit-packed label: the label's bits read as a big-endian integer,
+#: plus the explicit bit length (leading zeros are significant — the
+#: virtual root is all zeros — so the length cannot be recovered from
+#: the integer alone).
+PackedLabel = tuple[int, int]
+
+#: Morton spread tables, one per dimensionality: ``table[byte]`` is
+#: *byte* with ``dims - 1`` zero bits inserted between consecutive
+#: bits, so interleaving processes eight bits per table hit instead of
+#: one per loop iteration.
+_SPREAD_TABLES: dict[int, list[int]] = {}
+
+
+def _spread_table(dims: int) -> list[int]:
+    table = _SPREAD_TABLES.get(dims)
+    if table is None:
+        table = []
+        for byte in range(256):
+            spread = 0
+            for bit in range(8):
+                if byte >> bit & 1:
+                    spread |= 1 << (bit * dims)
+            table.append(spread)
+        _SPREAD_TABLES[dims] = table
+    return table
+
+
+def _spread(value: int, dims: int, table: list[int]) -> int:
+    """Insert ``dims - 1`` zeros between consecutive bits of *value*."""
+    out = 0
+    shift = 0
+    while value:
+        out |= table[value & 0xFF] << (shift * dims)
+        value >>= 8
+        shift += 8
+    return out
+
+
+def pack_label(label: str) -> PackedLabel:
+    """Pack a bit-string label into ``(bits, length)`` form."""
+    if not label:
+        return 0, 0
+    return int(label, 2), len(label)
+
+
+def unpack_label(packed: PackedLabel) -> str:
+    """Render a packed label back to its canonical ``str`` form."""
+    bits, length = packed
+    if length == 0:
+        return ""
+    return format(bits, f"0{length}b")
+
+
+def packed_virtual_root(dims: int) -> PackedLabel:
+    """Packed form of :func:`virtual_root`."""
+    _check_dims(dims)
+    return 0, dims
+
+
+def packed_root(dims: int) -> PackedLabel:
+    """Packed form of :func:`root_label`."""
+    _check_dims(dims)
+    return 1, dims + 1
+
+
+def packed_is_valid(packed: PackedLabel, dims: int) -> bool:
+    """Packed form of :func:`is_valid_label`."""
+    bits, length = packed
+    if dims < 1 or bits < 0 or bits.bit_length() > length:
+        return False
+    if length == dims:
+        return bits == 0
+    if length <= dims:
+        return False
+    # Must extend the ordinary root: the top dims+1 bits are 0…01.
+    return bits >> (length - dims - 1) == 1
+
+
+def packed_depth(packed: PackedLabel, dims: int) -> int:
+    """Packed form of :func:`label_depth` (no validation)."""
+    return packed[1] - dims - 1
+
+
+def packed_parent(packed: PackedLabel, dims: int) -> PackedLabel:
+    """Packed form of :func:`parent` (structural checks only)."""
+    bits, length = packed
+    if length <= dims:
+        raise InvalidLabelError("the virtual root has no parent")
+    return bits >> 1, length - 1
+
+
+def packed_children(
+    packed: PackedLabel, dims: int
+) -> tuple[PackedLabel, PackedLabel]:
+    """Packed form of :func:`children` (structural checks only)."""
+    bits, length = packed
+    if length <= dims:
+        raise InvalidLabelError(
+            "the virtual root has a single child; use packed_root()"
+        )
+    doubled = bits << 1
+    return (doubled, length + 1), (doubled | 1, length + 1)
+
+
+def packed_sibling(packed: PackedLabel, dims: int) -> PackedLabel:
+    """Packed form of :func:`sibling` (structural checks only)."""
+    bits, length = packed
+    if length <= dims + 1:
+        raise InvalidLabelError(
+            f"label {unpack_label(packed)!r} has no sibling"
+        )
+    return bits ^ 1, length
+
+
+def packed_prefix(packed: PackedLabel, length: int) -> PackedLabel:
+    """The leading *length* bits of *packed* (an ancestor label)."""
+    bits, full = packed
+    if not 0 <= length <= full:
+        raise InvalidLabelError(
+            f"prefix length {length} out of range for a {full}-bit label"
+        )
+    return bits >> (full - length), length
+
+
+def packed_is_prefix(prefix: PackedLabel, packed: PackedLabel) -> bool:
+    """True when *prefix* is a (non-strict) prefix of *packed*."""
+    p_bits, p_len = prefix
+    bits, length = packed
+    return p_len <= length and bits >> (length - p_len) == p_bits
+
+
+def packed_common_prefix(a: PackedLabel, b: PackedLabel) -> PackedLabel:
+    """Packed form of :func:`common_prefix`."""
+    a_bits, a_len = a
+    b_bits, b_len = b
+    if a_len > b_len:
+        a_bits, b_bits = b_bits, a_bits
+        a_len, b_len = b_len, a_len
+    b_bits >>= b_len - a_len
+    keep = a_len - (a_bits ^ b_bits).bit_length()
+    return a_bits >> (a_len - keep), keep
+
+
+def packed_split_dimension(packed: PackedLabel, dims: int) -> int:
+    """Packed form of :func:`split_dimension`."""
+    depth = packed[1] - dims - 1
+    if depth < 0:
+        raise InvalidLabelError("the virtual root does not split the space")
+    return depth % dims
+
+
+def packed_interleave(point: Sequence[float], depth: int) -> PackedLabel:
+    """Packed form of :func:`interleave`: *depth* Morton bits of *point*.
+
+    Each coordinate contributes its top ``ceil(depth / m)`` expansion
+    bits, spread table-driven to stride ``m`` and OR-merged — no
+    per-bit Python loop.
+    """
+    dims = len(point)
+    _check_dims(dims)
+    if depth < 0:
+        raise InvalidPointError(f"negative bit depth {depth}")
+    per_dim = -(-depth // dims)  # ceil division
+    if per_dim > MAX_RESOLUTION_BITS:
+        raise InvalidPointError(
+            f"bit depth {per_dim} exceeds resolution {MAX_RESOLUTION_BITS}"
+        )
+    table = _spread_table(dims)
+    drop = MAX_RESOLUTION_BITS - per_dim
+    out = 0
+    for position, value in enumerate(point):
+        if not 0.0 <= value < 1.0:
+            raise InvalidPointError(
+                f"coordinate {value!r} outside [0, 1)"
+            )
+        out |= _spread(int(value * _SCALE) >> drop, dims, table) << (
+            dims - 1 - position
+        )
+    return out >> (per_dim * dims - depth), depth
+
+
+def packed_candidate(point: Sequence[float], max_depth: int) -> PackedLabel:
+    """Packed form of :func:`candidate_string`: root label followed by
+    ``max_depth`` interleaved bits."""
+    dims = len(point)
+    bits, depth = packed_interleave(point, max_depth)
+    return (1 << depth) | bits, dims + 1 + depth
 
 
 def _check_dims(dims: int) -> None:

@@ -11,6 +11,17 @@ A leaf bucket stores two components (Section 3.3):
 
 Buckets are the unit of DHT storage: the bucket of leaf λ lives at DHT
 key ``fmd(λ)``.
+
+Hot-path caches (all derived, all invisible to equality/repr):
+
+* :attr:`region` is computed once per bucket — the label never changes
+  after construction — instead of being rebuilt bit-by-bit on every
+  ``covers()`` call (once per record on the insert path before);
+* :meth:`matching` runs on a lazily built
+  :class:`~repro.core.columnar.ColumnStore` that narrows on the
+  bucket's split dimension before scanning; ``add``/``remove`` drop
+  the store.  :meth:`matching_naive` keeps the original scan as the
+  equivalence oracle for tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ from dataclasses import dataclass, field
 from repro.common.errors import InvalidLabelError
 from repro.common.geometry import Region, region_of_label
 from repro.common.labels import ancestors, branch_nodes_between, is_valid_label
+from repro.core.columnar import ColumnStore
 from repro.core.records import Record
 
 
@@ -30,6 +42,13 @@ class LeafBucket:
     label: str
     dims: int
     records: list[Record] = field(default_factory=list)
+    #: Cached derived state; never part of identity or the wire value.
+    _region: Region | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _columns: ColumnStore | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not is_valid_label(self.label, self.dims):
@@ -58,6 +77,7 @@ class LeafBucket:
                 f"record {record.key} outside cell of leaf {self.label!r}"
             )
         self.records.append(record)
+        self._columns = None
 
     def remove(self, record: Record) -> bool:
         """Remove one occurrence of *record*; True when found."""
@@ -65,10 +85,32 @@ class LeafBucket:
             self.records.remove(record)
         except ValueError:
             return False
+        self._columns = None
         return True
 
+    @property
+    def split_dim(self) -> int:
+        """The dimension this leaf's cell halves when it splits — the
+        sort dimension of the columnar store (depth cycles through the
+        ``m`` dimensions; the ordinary root splits dimension 0)."""
+        depth = len(self.label) - self.dims - 1
+        return depth % self.dims if depth > 0 else 0
+
     def matching(self, query: Region) -> list[Record]:
-        """Records whose keys match the closed *query* region."""
+        """Records whose keys match the closed *query* region.
+
+        Served from the columnar store, rebuilt lazily after
+        mutations; answers are bit-identical to
+        :meth:`matching_naive`, in the same (insertion) order.
+        """
+        store = self._columns
+        if store is None or store.count != len(self.records):
+            store = ColumnStore(self.records, self.dims, self.split_dim)
+            self._columns = store
+        return store.matching(self.records, query.lows, query.highs)
+
+    def matching_naive(self, query: Region) -> list[Record]:
+        """Reference linear scan (the pre-columnar implementation)."""
         return [
             record
             for record in self.records
@@ -81,8 +123,12 @@ class LeafBucket:
 
     @property
     def region(self) -> Region:
-        """The half-open cell this leaf indexes."""
-        return region_of_label(self.label, self.dims)
+        """The half-open cell this leaf indexes (computed once)."""
+        region = self._region
+        if region is None:
+            region = region_of_label(self.label, self.dims)
+            self._region = region
+        return region
 
     def covers(self, point) -> bool:
         """True when *point* falls in this leaf's cell."""

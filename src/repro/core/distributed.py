@@ -16,6 +16,12 @@ model literally:
   cost* — it is the owner — collects matches, and recursively forwards
   to its branch nodes.
 
+Peer agents share the client engine's CPU fast path: the buckets they
+read from their own stores filter matches through the columnar record
+store (``bucket.matching``), and branch-region clipping rides the
+memoized ``region_of_label`` cache, so the deployment comparison stays
+apples-to-apples after the hot-loop optimisations.
+
 The punchline, asserted by ``tests/test_distributed.py``: answers,
 DHT-lookup counts and round counts are *identical* to the
 client-orchestrated engine.  One probe per visited node either way —

@@ -34,8 +34,14 @@ __all__ = ["KnnEngine", "KnnResult", "Neighbor", "euclidean"]
 
 
 def euclidean(a: Point, b: Point) -> float:
-    """Euclidean distance between two keys."""
-    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+    """Euclidean distance between two keys.
+
+    Delegates to :func:`math.dist` (C implementation) — ranking every
+    candidate of a k-NN ring is a hot loop, and ``math.dist`` also
+    raises on arity mismatch where a hand-rolled ``zip`` would
+    silently truncate.
+    """
+    return math.dist(a, b)
 
 
 class KnnEngine:

@@ -26,7 +26,7 @@ Worked examples from the paper (2-D, ``# == "001"``)::
 from __future__ import annotations
 
 from repro.common.errors import InvalidLabelError
-from repro.common.labels import is_valid_label, virtual_root
+from repro.common.labels import PackedLabel, is_valid_label, virtual_root
 
 
 def naming_function(label: str, dims: int) -> str:
@@ -36,6 +36,13 @@ def naming_function(label: str, dims: int) -> str:
     the prefix of length ``j - 1``.  Such a ``j`` always exists for a
     valid non-virtual-root label because the ordinary root ends in
     ``'1'`` while the virtual-root prefix is all ``'0'``.
+
+    The backward scan terminates after ~2 characters in expectation
+    (each step survives only when the bit ``m`` back agrees), so the
+    string form keeps it; callers already holding a *packed* label —
+    the lookup cursor derives one name per probe — use
+    :func:`packed_naming_function`, which replaces even that scan with
+    O(1) bit arithmetic and skips revalidation.
     """
     _check(label, dims)
     # 1-indexed positions j in [dims+1, len]; scan from the end for the
@@ -46,6 +53,26 @@ def naming_function(label: str, dims: int) -> str:
     raise InvalidLabelError(
         f"no disagreement found in {label!r}; label is malformed"
     )
+
+
+def packed_naming_function(packed: PackedLabel, dims: int) -> PackedLabel:
+    """``fmd`` on a bit-packed label (no validation — hot path).
+
+    Bit ``p`` (LSB-numbered) of ``bits ^ (bits >> m)`` is set exactly
+    when character ``len - 1 - p`` disagrees with the one ``m`` places
+    before it, so the lowest set bit inside the window of positions
+    that have an ``m``-back partner locates the largest disagreeing
+    ``j``; the name is the prefix ending just before it.
+    """
+    bits, length = packed
+    window = (bits ^ (bits >> dims)) & ((1 << (length - dims)) - 1)
+    if not window:
+        raise InvalidLabelError(
+            f"no disagreement found in "
+            f"{format(bits, f'0{length}b')!r}; label is malformed"
+        )
+    drop = (window & -window).bit_length()
+    return bits >> drop, length - drop
 
 
 def naming_function_recursive(label: str, dims: int) -> str:

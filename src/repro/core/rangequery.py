@@ -34,6 +34,13 @@ When the engine carries a :class:`~repro.core.cache.LeafCache`, every
 leaf a query visits warms it (and the missing-target fallback lookup
 may ride cached hints), so range scans prime subsequent point lookups
 in the same region.
+
+CPU hot path: with rounds batched (PR 2), local computation dominates
+wall-clock.  Every ``region_of_label`` this engine issues (LCA
+descent, speculative expansion, branch clipping) hits the memoized
+geometry cache, and every ``bucket.matching`` collection runs on the
+bucket's columnar store — see ``docs/architecture.md`` ("The hot
+path").
 """
 
 from __future__ import annotations

@@ -24,7 +24,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 from repro.common.errors import ReproError
-from repro.common.geometry import region_of_label
+from repro.common.geometry import Region, region_of_label
 from repro.common.labels import label_depth, split_dimension
 from repro.core.records import Record
 
@@ -59,16 +59,23 @@ class SplitPlan:
 
 
 def partition_records(
-    label: str, dims: int, records: list[Record]
+    label: str, dims: int, records: list[Record], region: Region | None = None
 ) -> tuple[list[Record], list[Record]]:
     """Split *records* of cell *label* between its two children.
 
     The space partitioning is data independent: the cell is halved at
     its midpoint along ``split_dimension(label)`` regardless of where
     the records lie (Section 3.2).
+
+    *region* is the cell of *label* when the caller already holds it —
+    Algorithm 1's recursion threads each child's region down via
+    :meth:`Region.split`, so no level re-derives its cell from the
+    label string.  Omitted, it is fetched from the memoized
+    :func:`region_of_label`.
     """
     dim = split_dimension(label, dims)
-    region = region_of_label(label, dims)
+    if region is None:
+        region = region_of_label(label, dims)
     midpoint = (region.lows[dim] + region.highs[dim]) / 2.0
     lower = [record for record in records if record.key[dim] < midpoint]
     upper = [record for record in records if record.key[dim] >= midpoint]
@@ -111,19 +118,25 @@ class ThresholdSplit(SplitStrategy):
         if len(records) <= self.split_threshold:
             return None
         leaves: list[tuple[str, tuple[Record, ...]]] = []
-        self._split_into(label, records, dims, max_depth, leaves)
+        self._split_into(
+            label, records, dims, max_depth, leaves,
+            region_of_label(label, dims),
+        )
         if len(leaves) < 2:
             return None  # depth cap reached immediately; cannot split
         return SplitPlan(label, tuple(leaves))
 
-    def _split_into(self, label, records, dims, max_depth, out) -> None:
+    def _split_into(self, label, records, dims, max_depth, out, region) -> None:
         at_cap = label_depth(label, dims) >= max_depth
         if len(records) <= self.split_threshold or at_cap:
             out.append((label, tuple(records)))
             return
-        lower, upper = partition_records(label, dims, records)
-        self._split_into(label + "0", lower, dims, max_depth, out)
-        self._split_into(label + "1", upper, dims, max_depth, out)
+        lower, upper = partition_records(label, dims, records, region)
+        # Incremental midpoints: one Region.split per level instead of
+        # a from-scratch cell derivation per recursive call.
+        low_region, high_region = region.split(split_dimension(label, dims))
+        self._split_into(label + "0", lower, dims, max_depth, out, low_region)
+        self._split_into(label + "1", upper, dims, max_depth, out, high_region)
 
     def should_merge(self, load_a: int, load_b: int) -> bool:
         return load_a + load_b < self.merge_threshold
@@ -159,23 +172,29 @@ class DataAwareSplit(SplitStrategy):
         """The minimised total difference (exposed for tests/ablations)."""
         return self._local_split(label, records, dims, max_depth)[0]
 
-    def _local_split(self, label, records, dims, max_depth):
+    def _local_split(self, label, records, dims, max_depth, region=None):
         """Algorithm 1: returns (min cost, leaves of the optimal subtree).
 
         Divide and conquer exactly as the paper's pseudo-code, with a
         depth cap so degenerate inputs (many coincident keys) terminate.
+        The cell region is threaded through the recursion (one
+        :meth:`Region.split` per level) so Algorithm 1 stops
+        re-deriving cells from label strings at every recursion level.
         """
         local_cost = self._deviation(len(records))
         if len(records) <= self.expected_load:
             return local_cost, [(label, tuple(records))]
         if label_depth(label, dims) >= max_depth:
             return local_cost, [(label, tuple(records))]
-        lower, upper = partition_records(label, dims, records)
+        if region is None:
+            region = region_of_label(label, dims)
+        lower, upper = partition_records(label, dims, records, region)
+        low_region, high_region = region.split(split_dimension(label, dims))
         left_cost, left_leaves = self._local_split(
-            label + "0", lower, dims, max_depth
+            label + "0", lower, dims, max_depth, low_region
         )
         right_cost, right_leaves = self._local_split(
-            label + "1", upper, dims, max_depth
+            label + "1", upper, dims, max_depth, high_region
         )
         non_local = left_cost + right_cost
         if local_cost <= non_local:

@@ -71,6 +71,19 @@ class TestBoundarySemantics:
         assert query.contains_point_closed((0.5, 0.5))
         assert query.contains_point_closed((0.2, 0.2))
 
+    def test_contains_point_rejects_wrong_arity(self):
+        # Regression: the zip-based scan silently truncated, so a 1-D
+        # point "matched" a 2-D region by checking only dimension 0.
+        region = Region((0.0, 0.0), (1.0, 1.0))
+        with pytest.raises(InvalidPointError):
+            region.contains_point((0.5,))
+        with pytest.raises(InvalidPointError):
+            region.contains_point((0.5, 0.5, 0.5))
+        with pytest.raises(InvalidPointError):
+            region.contains_point_closed((0.5,))
+        with pytest.raises(InvalidPointError):
+            region.contains_point_closed((0.5, 0.5, 0.5))
+
     def test_query_touching_cell_low_edge_overlaps(self):
         # A record exactly at the shared boundary lives in the upper
         # cell, and a closed query ending there still matches it.

@@ -1,0 +1,386 @@
+"""Equivalence of the CPU fast paths with their reference implementations.
+
+The hot-loop optimisations (packed labels, memoized geometry, columnar
+bucket filtering, region-threaded splitting) are pure re-expressions:
+every one must be *bit-identical* to the straightforward string/naive
+code it replaces.  These property tests drive randomized workloads in
+1–4 dimensions through both paths and compare exactly — no tolerance,
+no sorting-away of order differences.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import InvalidLabelError
+from repro.common.geometry import (
+    Region,
+    region_of_label,
+    unit_region,
+)
+from repro.common.labels import (
+    candidate_string,
+    children,
+    common_prefix,
+    coordinate_bits,
+    interleave,
+    is_valid_label,
+    label_depth,
+    pack_label,
+    packed_candidate,
+    packed_children,
+    packed_common_prefix,
+    packed_depth,
+    packed_interleave,
+    packed_is_prefix,
+    packed_is_valid,
+    packed_parent,
+    packed_prefix,
+    packed_root,
+    packed_sibling,
+    packed_split_dimension,
+    packed_virtual_root,
+    parent,
+    root_label,
+    sibling,
+    split_dimension,
+    unpack_label,
+    virtual_root,
+)
+from repro.core.bucket import LeafBucket
+from repro.core.columnar import ColumnStore
+from repro.core.naming import (
+    naming_function,
+    naming_function_recursive,
+    packed_naming_function,
+)
+from repro.core.records import Record
+from repro.core.split import (
+    DataAwareSplit,
+    ThresholdSplit,
+    partition_records,
+)
+from tests.conftest import labels_strategy, points_strategy, random_tree_leaves
+
+DIMS = [1, 2, 3, 4]
+
+
+def dims_and_label():
+    """Strategy: (dims, random valid non-virtual-root label), dims 1–4."""
+    return st.integers(min_value=1, max_value=4).flatmap(
+        lambda dims: st.tuples(st.just(dims), labels_strategy(dims, 16))
+    )
+
+
+def dims_and_point():
+    """Strategy: (dims, random point in [0,1)^dims), dims 1–4."""
+    return st.integers(min_value=1, max_value=4).flatmap(
+        lambda dims: st.tuples(st.just(dims), points_strategy(dims))
+    )
+
+
+# ----------------------------------------------------------------------
+# Packed label ops vs the string implementations
+# ----------------------------------------------------------------------
+
+
+class TestPackedLabelOps:
+    @given(dims_and_label())
+    def test_pack_roundtrip(self, dims_label):
+        dims, label = dims_label
+        assert unpack_label(pack_label(label)) == label
+
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_roots(self, dims):
+        assert unpack_label(packed_virtual_root(dims)) == virtual_root(dims)
+        assert unpack_label(packed_root(dims)) == root_label(dims)
+
+    @given(dims_and_label())
+    def test_validity_depth_split_dimension(self, dims_label):
+        dims, label = dims_label
+        packed = pack_label(label)
+        assert packed_is_valid(packed, dims) == is_valid_label(label, dims)
+        assert packed_depth(packed, dims) == label_depth(label, dims)
+        assert packed_split_dimension(packed, dims) == split_dimension(
+            label, dims
+        )
+
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_validity_rejects_what_strings_reject(self, dims):
+        # Wrong virtual-root prefix, too-short labels, junk lengths.
+        assert not packed_is_valid((1, dims), dims)  # "0…01" too short
+        assert not packed_is_valid((0, dims - 1), dims)
+        assert not packed_is_valid((1 << dims, dims), dims)  # overlong bits
+        assert packed_is_valid((0, dims), dims)  # virtual root
+
+    @given(dims_and_label())
+    def test_parent_children_sibling(self, dims_label):
+        dims, label = dims_label
+        packed = pack_label(label)
+        assert unpack_label(packed_parent(packed, dims)) == parent(label, dims)
+        lower, upper = children(label, dims)
+        p_lower, p_upper = packed_children(packed, dims)
+        assert unpack_label(p_lower) == lower
+        assert unpack_label(p_upper) == upper
+        if len(label) > dims + 1:
+            assert unpack_label(packed_sibling(packed, dims)) == sibling(
+                label, dims
+            )
+        else:
+            with pytest.raises(InvalidLabelError):
+                packed_sibling(packed, dims)
+
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_virtual_root_structural_errors(self, dims):
+        packed = packed_virtual_root(dims)
+        with pytest.raises(InvalidLabelError):
+            packed_parent(packed, dims)
+        with pytest.raises(InvalidLabelError):
+            packed_children(packed, dims)
+
+    @given(dims_and_label(), st.data())
+    def test_prefix_and_is_prefix(self, dims_label, data):
+        dims, label = dims_label
+        packed = pack_label(label)
+        cut = data.draw(st.integers(min_value=0, max_value=len(label)))
+        prefix = packed_prefix(packed, cut)
+        assert unpack_label(prefix) == label[:cut]
+        assert packed_is_prefix(prefix, packed)
+        assert packed_is_prefix(packed, prefix) == (cut == len(label))
+
+    @given(dims_and_label(), st.data())
+    def test_common_prefix(self, dims_label, data):
+        dims, first = dims_label
+        second = data.draw(labels_strategy(dims, 16))
+        expected = common_prefix(first, second)
+        got = packed_common_prefix(pack_label(first), pack_label(second))
+        assert unpack_label(got) == expected
+
+    @given(dims_and_point(), st.integers(min_value=0, max_value=24))
+    def test_interleave_matches_coordinate_bits(self, dims_point, depth):
+        dims, point = dims_point
+        # Reference: assemble the Morton string one coordinate-bit at a
+        # time, exactly as the pre-packed implementation did.
+        per_dim = -(-depth // dims)
+        expansions = [coordinate_bits(value, per_dim) for value in point]
+        expected = "".join(
+            expansions[position][index]
+            for index in range(per_dim)
+            for position in range(dims)
+        )[:depth]
+        assert interleave(point, depth) == expected
+        assert unpack_label(packed_interleave(point, depth)) == expected
+
+    @given(dims_and_point(), st.integers(min_value=0, max_value=24))
+    def test_candidate_matches_root_plus_interleave(self, dims_point, depth):
+        dims, point = dims_point
+        expected = root_label(dims) + interleave(point, depth)
+        assert candidate_string(point, depth) == expected
+        assert unpack_label(packed_candidate(point, depth)) == expected
+
+    @given(dims_and_label())
+    def test_packed_naming_matches_recursive_definition(self, dims_label):
+        dims, label = dims_label
+        packed = pack_label(label)
+        assert unpack_label(packed_naming_function(packed, dims)) == (
+            naming_function_recursive(label, dims)
+        )
+        assert unpack_label(packed_naming_function(packed, dims)) == (
+            naming_function(label, dims)
+        )
+
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_packed_naming_rejects_all_agreeing_labels(self, dims):
+        # A label whose every bit equals the bit m back has no
+        # disagreement — structurally impossible for valid labels, and
+        # both implementations refuse it the same way.
+        packed = packed_virtual_root(dims)
+        with pytest.raises(InvalidLabelError):
+            packed_naming_function(packed, dims)
+
+
+# ----------------------------------------------------------------------
+# Memoized geometry vs a manual split walk
+# ----------------------------------------------------------------------
+
+
+class TestMemoizedGeometry:
+    @staticmethod
+    def walk_region(label: str, dims: int) -> Region:
+        """Reference: derive the cell by splitting from the unit region
+        one edge bit at a time (the pre-memoization implementation)."""
+        region = unit_region(dims)
+        for index, bit in enumerate(label[dims + 1 :]):
+            lower, upper = region.split(index % dims)
+            region = upper if bit == "1" else lower
+        return region
+
+    @given(dims_and_label())
+    def test_region_of_label_matches_walk(self, dims_label):
+        dims, label = dims_label
+        assert region_of_label(label, dims) == self.walk_region(label, dims)
+
+    @given(dims_and_label())
+    def test_bucket_region_cache_matches_walk(self, dims_label):
+        dims, label = dims_label
+        bucket = LeafBucket(label, dims)
+        assert bucket.region == self.walk_region(label, dims)
+        # Cached object is stable across calls.
+        assert bucket.region is bucket.region
+
+
+# ----------------------------------------------------------------------
+# Columnar filtering vs the naive scan, across mutations
+# ----------------------------------------------------------------------
+
+
+def _random_records(rng, region, dims, count):
+    records = []
+    for index in range(count):
+        key = tuple(
+            rng.uniform(low, high)
+            for low, high in zip(region.lows, region.highs)
+        )
+        # Clamp away the (measure-zero but possible) high endpoint.
+        key = tuple(
+            min(value, high * (1 - 1e-12))
+            for value, high in zip(key, region.highs)
+        )
+        records.append(Record(key, index))
+    return records
+
+
+def _random_query(rng, dims):
+    bounds = [sorted((rng.random(), rng.random())) for _ in range(dims)]
+    return Region(
+        tuple(low for low, _ in bounds), tuple(high for _, high in bounds)
+    )
+
+
+class TestColumnarMatching:
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_matches_naive_across_random_workloads(self, dims, rng):
+        for trial in range(10):
+            leaves = random_tree_leaves(rng, dims, max_depth=6)
+            label = rng.choice(leaves)
+            bucket = LeafBucket(label, dims)
+            for record in _random_records(
+                rng, bucket.region, dims, rng.randrange(0, 120)
+            ):
+                bucket.add(record)
+            for _ in range(8):
+                query = _random_query(rng, dims)
+                assert bucket.matching(query) == bucket.matching_naive(query)
+
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_matches_naive_after_mutations(self, dims, rng):
+        bucket = LeafBucket(root_label(dims), dims)
+        pool = _random_records(rng, bucket.region, dims, 150)
+        for record in pool[:100]:
+            bucket.add(record)
+        query = _random_query(rng, dims)
+        assert bucket.matching(query) == bucket.matching_naive(query)
+        # Interleave adds, removes and queries; the lazily rebuilt
+        # store must track every mutation.
+        for step in range(30):
+            if rng.random() < 0.5 and bucket.records:
+                bucket.remove(rng.choice(bucket.records))
+            else:
+                bucket.add(pool[100 + step % 50])
+            query = _random_query(rng, dims)
+            assert bucket.matching(query) == bucket.matching_naive(query)
+
+    def test_staleness_backstop_on_direct_mutation(self, rng):
+        # External code that appends to .records directly (bulk load
+        # plumbing, tests) must still get correct answers via the
+        # count backstop.
+        bucket = LeafBucket(root_label(2), 2)
+        for record in _random_records(rng, bucket.region, 2, 40):
+            bucket.add(record)
+        everything = Region((0.0, 0.0), (1.0, 1.0))
+        assert bucket.matching(everything) == bucket.records
+        bucket.records.append(Record((0.5, 0.5), "direct"))
+        assert bucket.matching(everything) == bucket.matching_naive(everything)
+
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_positions_are_insertion_ordered(self, dims, rng):
+        records = _random_records(rng, unit_region(dims), dims, 80)
+        store = ColumnStore(records, dims, sort_dim=dims - 1)
+        query = _random_query(rng, dims)
+        positions = store.matching_positions(query.lows, query.highs)
+        assert positions == sorted(positions)
+        assert store.matching(records, query.lows, query.highs) == [
+            record
+            for record in records
+            if query.contains_point_closed(record.key)
+        ]
+
+    def test_empty_store(self):
+        store = ColumnStore([], 2, 0)
+        assert store.matching_positions((0.0, 0.0), (1.0, 1.0)) == []
+
+
+# ----------------------------------------------------------------------
+# Region-threaded splitting vs label-derived regions
+# ----------------------------------------------------------------------
+
+
+class TestSplitRegionThreading:
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_partition_records_region_argument_is_equivalent(self, dims, rng):
+        leaves = random_tree_leaves(rng, dims, max_depth=5)
+        for label in leaves:
+            region = region_of_label(label, dims)
+            records = _random_records(rng, region, dims, 30)
+            assert partition_records(label, dims, records) == (
+                partition_records(label, dims, records, region)
+            )
+
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    @pytest.mark.parametrize(
+        "strategy",
+        [ThresholdSplit(8), DataAwareSplit(6)],
+        ids=["threshold", "data-aware"],
+    )
+    def test_plans_match_label_derived_reference(self, dims, strategy, rng):
+        """Plans equal a reference that re-derives every cell by label.
+
+        The reference recursion partitions with ``region=None`` at every
+        level — exactly what the code did before regions were threaded
+        through — so any drift introduced by incremental midpoints
+        (`Region.split`) would show up as a differing plan.
+        """
+
+        def reference(label, records, depth_cap):
+            dim = split_dimension(label, dims)
+            region = region_of_label(label, dims)
+            midpoint = (region.lows[dim] + region.highs[dim]) / 2.0
+            lower = [r for r in records if r.key[dim] < midpoint]
+            upper = [r for r in records if r.key[dim] >= midpoint]
+            return lower, upper
+
+        for trial in range(10):
+            label = root_label(dims) + "".join(
+                rng.choice("01") for _ in range(rng.randrange(0, 6))
+            )
+            records = _random_records(
+                rng, region_of_label(label, dims), dims, 40
+            )
+            plan = strategy.plan_split(label, records, dims, max_depth=12)
+            if plan is None:
+                continue
+            # Every plan leaf holds exactly the records the by-label
+            # partition chain assigns to it.
+            for leaf_label, leaf_records in plan.leaves:
+                chain_records = list(records)
+                for end in range(len(label), len(leaf_label)):
+                    prefix = leaf_label[:end]
+                    lower, upper = reference(prefix, chain_records, None)
+                    chain_records = (
+                        upper if leaf_label[end] == "1" else lower
+                    )
+                assert list(leaf_records) == chain_records
