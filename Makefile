@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test bench bench-smoke bench-hotpath bench-full experiments experiments-full clean
+.PHONY: install lint test test-faults bench bench-smoke bench-hotpath bench-full experiments experiments-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,10 @@ lint:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+test-faults:
+	$(PYTHON) -m pytest tests/test_faults.py tests/test_churn.py tests/test_retry.py
+	REPRO_BENCH_SIZE=1500 $(PYTHON) -m pytest benchmarks/test_faults.py -m smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

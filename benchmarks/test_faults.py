@@ -1,0 +1,96 @@
+"""E12 table and fault-plane timings: recall and retry cost vs
+injected fault rate, plus the overhead of the injection wrapper."""
+
+import pytest
+
+from repro.common.config import IndexConfig
+from repro.core.index import MLightIndex
+from repro.dht.faults import FaultPlan, FaultyDht
+from repro.dht.localhash import LocalDht
+from repro.dht.retry import RetryingDht
+from repro.experiments import fault_experiment
+from repro.workloads.queries import uniform_range_queries
+
+from .conftest import publish
+
+
+@pytest.fixture(scope="module")
+def fault_samples(dataset, paper_config):
+    config = IndexConfig(
+        dims=2, max_depth=18, split_threshold=50, merge_threshold=25
+    )
+    samples = fault_experiment.run_fault_recall(
+        dataset[:1200], config,
+        fault_rates=(0.0, 0.1, 0.2, 0.3),
+        replication_factors=(1, 2, 3),
+        n_peers=16,
+    )
+    publish("e12_fault_recall.txt", fault_experiment.render(samples))
+
+    by_cell = {(s.replication, s.fault_rate): s for s in samples}
+    # Zero faults, replication >= 2: the crash is repaired, nothing is
+    # injected, and recall is exact.
+    for replication in (2, 3):
+        clean = by_cell[(replication, 0.0)]
+        assert clean.recall == 1.0
+        assert clean.faults_injected == 0
+        assert clean.degraded == 0
+        assert clean.retries == 0
+    # Positive rates really inject, and the retry budget really pays:
+    # retries and backoff grow with the rate.
+    for replication in (1, 2, 3):
+        hot = by_cell[(replication, 0.3)]
+        assert hot.faults_injected > 0
+        assert hot.retries > 0
+        assert hot.backoff_waits > 0
+        assert hot.retries >= by_cell[(replication, 0.1)].retries
+    return samples
+
+
+@pytest.mark.smoke
+def test_e12_fault_recall_table(benchmark, fault_samples):
+    """Time one degraded range query through the full resilience stack
+    (fault plane + retries) — the E12 hot path."""
+    config = IndexConfig(
+        dims=2, max_depth=14, split_threshold=20, merge_threshold=10
+    )
+    faulty = FaultyDht(LocalDht(16), FaultPlan(3, drop_rate=0.15))
+    dht = RetryingDht(faulty, attempts=3, backoff_base=0.01)
+    index = MLightIndex(dht, config)
+    from repro.datasets.synthetic import uniform_points
+
+    with faulty.suspended():
+        for point in uniform_points(2000, dims=2, seed=4):
+            index.insert(point)
+    queries = uniform_range_queries(32, 0.2, dims=2, seed=5)
+    state = {"i": 0}
+
+    def one_query():
+        query = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        return index.range_query(query)
+
+    benchmark(one_query)
+
+
+@pytest.mark.smoke
+def test_fault_wrapper_overhead(benchmark, dataset):
+    """A zero-rate plan should cost near-nothing on the query path."""
+    config = IndexConfig(
+        dims=2, max_depth=14, split_threshold=20, merge_threshold=10
+    )
+    faulty = FaultyDht(LocalDht(16), FaultPlan(0))
+    index = MLightIndex(RetryingDht(faulty), config)
+    for point in dataset[:2000]:
+        index.insert(point)
+    queries = uniform_range_queries(32, 0.2, dims=2, seed=6)
+    state = {"i": 0}
+
+    def one_query():
+        query = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        result = index.range_query(query)
+        assert result.complete
+        return result
+
+    benchmark(one_query)

@@ -1,10 +1,12 @@
-"""m-LIGHT over a churning Chord ring.
+"""m-LIGHT over a churning Chord ring — crashes included.
 
 The paper runs over Bamboo because it "has good robustness" under
 churn; this example demonstrates the same layering with the bundled
-Chord substrate: peers join and (gracefully) leave while the index
-keeps answering queries, because the DHT hands keys off and the index
-layer is oblivious to membership.
+Chord substrate: peers join, gracefully leave *and abruptly crash*
+while the index keeps answering queries.  Graceful departures hand
+their keys off; crashes are covered by DHash-style successor
+replication, with the churn driver repairing the replica invariant
+between events.  The index layer is oblivious to all of it.
 
 Run with::
 
@@ -19,8 +21,8 @@ from repro.datasets.northeast import northeast_surrogate
 def main() -> None:
     config = IndexConfig(dims=2, max_depth=18, split_threshold=25,
                          merge_threshold=12)
-    print("building a 24-peer Chord ring...")
-    dht = ChordDht.build(24)
+    print("building a 24-peer Chord ring (replication 2)...")
+    dht = ChordDht.build(24, replication=2)
     index = MLightIndex(dht, config)
 
     points = northeast_surrogate(1_500, seed=7)
@@ -35,14 +37,16 @@ def main() -> None:
           f"{before.lookups} DHT-lookups")
 
     print("\napplying churn: 12 membership events "
-          "(joins and graceful leaves)...")
+          "(joins, graceful leaves and crashes)...")
     report = run_churn(
-        dht, 12, join_weight=1.0, leave_weight=1.0, fail_weight=0.0,
+        dht, 12, join_weight=1.0, leave_weight=1.0, fail_weight=1.0,
         stabilize_rounds=2, seed=11,
     )
     kinds = [event.kind for event in report.events]
     print(f"events: {kinds.count('join')} joins, "
-          f"{kinds.count('leave')} leaves; "
+          f"{kinds.count('leave')} leaves, "
+          f"{kinds.count('fail')} crashes "
+          f"({report.repairs} replica copies repaired); "
           f"key survival {100 * report.survival_ratio:.1f}%")
 
     after = index.range_query(query)

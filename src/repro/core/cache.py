@@ -22,6 +22,12 @@ Staleness therefore costs one extra probe, never a wrong answer — the
 same discipline as the paper's cost model, where every piece of remote
 state an operation relies on is paid for with a DHT-lookup.
 
+A hint can also be *dead*: its peer unreachable rather than its label
+stale.  The lookup engine evicts the hint on an unreachable hinted
+probe (:meth:`~repro.core.lookup.PointLookupCursor.probe_failed`) —
+leaving it cached would steer every subsequent lookup in the region
+back into the same dead peer's retry budget.
+
 Bounding and invalidation:
 
 * the cache is LRU-bounded (``capacity`` entries);

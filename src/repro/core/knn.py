@@ -16,13 +16,19 @@ The engine threads the client's :class:`~repro.core.cache.LeafCache`
 (when one is configured) through both the seeding point lookup and the
 ring range queries, so repeated similarity searches around the same
 region stay on the hinted fast path.
+
+Degraded mode: ring queries inherit the range engine's partial-result
+contract — when a probe stays unreachable past the retry budget the
+ring answers with ``complete=False`` and the k-NN result carries that
+flag through: the listed neighbours are real records at true
+distances, but a closer neighbour may hide in an unresolved subregion.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.common.errors import ReproError
+from repro.common.errors import NodeUnreachableError, ReproError
 from repro.common.geometry import Point, Region, check_point
 from repro.core.cache import LeafCache
 from repro.core.lookup import lookup_point
@@ -79,23 +85,36 @@ class KnnEngine:
 
         # Seed the radius from the leaf covering the query point: its
         # cell diameter is the natural scale of the local data density.
-        seed = lookup_point(
-            self._dht, point, self._dims, self._max_depth,
-            cache=self._cache,
-        )
-        lookups = seed.lookups
-        rounds = seed.rounds
-        region = seed.bucket.region
-        radius = max(
-            euclidean(region.lows, region.highs) / 2.0,
-            1e-6,
-        )
+        # The seed only tunes the starting radius, so an unreachable
+        # seed probe degrades to a conservative guess instead of
+        # aborting — exactness still comes from the rings alone.
+        lookups_before = self._dht.stats.lookups
+        try:
+            seed = lookup_point(
+                self._dht, point, self._dims, self._max_depth,
+                cache=self._cache,
+            )
+        except NodeUnreachableError:
+            spent = self._dht.stats.lookups - lookups_before
+            lookups = spent
+            rounds = spent  # sequential probes: one round each
+            radius = 2.0 ** -(self._max_depth // self._dims)
+        else:
+            lookups = seed.lookups
+            rounds = seed.rounds
+            region = seed.bucket.region
+            radius = max(
+                euclidean(region.lows, region.highs) / 2.0,
+                1e-6,
+            )
 
+        complete = True
         while True:
             box = self._ball_box(point, radius)
             result = self._ranges.query(box)
             lookups += result.lookups
             rounds += result.rounds
+            complete = complete and result.complete
             ranked = sorted(
                 (
                     Neighbor(record, euclidean(record.key, point))
@@ -105,10 +124,15 @@ class KnnEngine:
             )
             within = [n for n in ranked if n.distance <= radius]
             if len(within) >= k:
-                return KnnResult(tuple(within[:k]), lookups, rounds)
+                return KnnResult(
+                    tuple(within[:k]), lookups, rounds, complete=complete
+                )
             if self._covers_everything(box):
-                # Fewer than k records exist in total.
-                return KnnResult(tuple(ranked[:k]), lookups, rounds)
+                # Fewer than k records exist in total (or, degraded,
+                # fewer were reachable).
+                return KnnResult(
+                    tuple(ranked[:k]), lookups, rounds, complete=complete
+                )
             shortfall_boost = 2.0 if not ranked else 1.0
             if len(ranked) >= k:
                 # We have k candidates but the k-th might be beaten by

@@ -38,7 +38,7 @@ concurrent fallback searches advance together with the frontier.
 
 from __future__ import annotations
 
-from repro.common.errors import IndexCorruptionError
+from repro.common.errors import IndexCorruptionError, NodeUnreachableError
 from repro.common.geometry import Point, check_point
 from repro.common.labels import packed_candidate, unpack_label
 from repro.core.cache import LeafCache
@@ -151,6 +151,29 @@ class PointLookupCursor:
             )
         )
 
+    def probe_failed(self) -> bool:
+        """Consume an *unreachable* outcome for :meth:`current_key`.
+
+        Returns True when the cursor can make progress anyway — only
+        the hinted probe can: the hint names one specific (possibly
+        dead) peer's key, so the cursor evicts the hint from the cache
+        (a dead hint must not stay cached and redirect the next lookup
+        to the same unreachable peer) and falls back to the ordinary
+        binary search, whose first mid-probe targets a different key.
+
+        A failed *search* probe returns False: re-probing the same key
+        cannot progress — the retry wrapper below already spent its
+        budget on it — so the caller must degrade (mark the subquery
+        unresolved) or propagate.
+        """
+        self.probes += 1
+        if self._hint is None:
+            return False
+        hint, self._hint = self._hint, None
+        self._cache.forget(hint)
+        self._select_mid()
+        return True
+
     def advance(self, bucket) -> None:
         """Consume the probe outcome for :meth:`current_key`."""
         self.probes += 1
@@ -242,6 +265,12 @@ def lookup_point(
         cache=cache,
     )
     while not cursor.done:
-        cursor.advance(dht.get(cursor.current_key()))
+        try:
+            bucket = dht.get(cursor.current_key())
+        except NodeUnreachableError:
+            if not cursor.probe_failed():
+                raise
+            continue
+        cursor.advance(bucket)
     assert cursor.result is not None
     return cursor.result

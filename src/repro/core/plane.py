@@ -18,6 +18,14 @@ Both planes return one outcome per key in issuance order, so engines
 process identical outcomes in identical order: answers and per-element
 meters are the same on either plane, and only round structure
 (``batch_rounds``, simulated network rounds and latency) differs.
+
+Failure semantics are per-slot on both planes: a probe whose peer was
+unreachable (after whatever retry wrapper the substrate stack carries
+gave up) yields a :class:`~repro.dht.api.BatchFailure` in its slot
+instead of aborting the round, so one dead probe never poisons the
+round's other results.  The engines translate failed slots into
+``complete=False`` partial results — see "Degraded mode" in
+``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import Any
 
-from repro.dht.api import Dht
+from repro.dht.api import Dht, _capture
 
 __all__ = ["BatchedPlane", "SequentialPlane", "make_plane"]
 
@@ -39,7 +47,7 @@ class SequentialPlane:
         self._dht = dht
 
     def get_round(self, keys: Sequence[str]) -> list[Any]:
-        return [self._dht.get(key) for key in keys]
+        return [_capture(self._dht.get, key) for key in keys]
 
 
 class BatchedPlane:
@@ -51,7 +59,7 @@ class BatchedPlane:
         self._dht = dht
 
     def get_round(self, keys: Sequence[str]) -> list[Any]:
-        return self._dht.get_many(keys)
+        return self._dht.get_many_outcomes(keys)
 
 
 def make_plane(dht: Dht, batched: bool) -> SequentialPlane | BatchedPlane:

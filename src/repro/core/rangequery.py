@@ -35,6 +35,16 @@ leaf a query visits warms it (and the missing-target fallback lookup
 may ride cached hints), so range scans prime subsequent point lookups
 in the same region.
 
+Degraded mode: subqueries are disjoint, so a probe that stays
+unreachable after the substrate stack's retry budget costs exactly its
+own subregion and nothing else.  The engine records that region via
+:meth:`~repro.core.results.RangeQueryBuilder.mark_unresolved` and keeps
+executing every other probe; the result then carries
+``complete=False`` with the unresolved regions enumerated.  A query
+over a faulty substrate never raises
+:class:`~repro.common.errors.NodeUnreachableError` — it returns what
+it could prove, and says what it couldn't.
+
 CPU hot path: with rounds batched (PR 2), local computation dominates
 wall-clock.  Every ``region_of_label`` this engine issues (LCA
 descent, speculative expansion, branch clipping) hits the memoized
@@ -68,7 +78,7 @@ from repro.core.lookup import PointLookupCursor
 from repro.core.naming import naming_function
 from repro.core.plane import make_plane
 from repro.core.results import RangeQueryBuilder, RangeQueryResult
-from repro.dht.api import Dht
+from repro.dht.api import BatchFailure, Dht
 
 __all__ = [
     "RangeQueryEngine",
@@ -158,7 +168,7 @@ class RangeQueryEngine:
         batch_rounds_before = self._dht.stats.batch_rounds
         lca = compute_lca(query, self._dims, self._max_depth)
         tasks = [_Task(lca, query, root_label(self._dims))]
-        pending: list[PointLookupCursor] = []
+        pending: list[tuple[PointLookupCursor, Region]] = []
         while tasks or pending:
             tasks, pending = self._run_round(
                 tasks, pending, levels, query, builder
@@ -175,11 +185,11 @@ class RangeQueryEngine:
     def _run_round(
         self,
         tasks: list[_Task],
-        pending: list[PointLookupCursor],
+        pending: list[tuple[PointLookupCursor, Region]],
         levels: int,
         query: Region,
         builder: RangeQueryBuilder,
-    ) -> tuple[list[_Task], list[PointLookupCursor]]:
+    ) -> tuple[list[_Task], list[tuple[PointLookupCursor, Region]]]:
         """Issue one parallel round and dispatch its outcomes.
 
         A round carries every independent probe in flight: the new
@@ -197,6 +207,15 @@ class RangeQueryEngine:
         round's miss — joins the *next* round.  Outcomes are processed
         in issuance order, so collection order, and therefore the
         result, is identical on both planes.
+
+        Unreachable probes (a :class:`~repro.dht.api.BatchFailure`
+        slot — the plane captures them so one dead probe never aborts
+        the round) degrade per-slot: a failed frontier probe marks its
+        disjoint subquery unresolved, a failed cursor step either
+        re-routes (dead cache hint, see
+        :meth:`~repro.core.lookup.PointLookupCursor.probe_failed`) or
+        marks the cursor's subquery unresolved.  Every other slot in
+        the round is dispatched normally.
         """
         builder.open_round()
         frontier: list[_Task] = []
@@ -206,22 +225,34 @@ class RangeQueryEngine:
             bucket_key(naming_function(task.target, self._dims))
             for task in frontier
         ]
-        step_keys = [cursor.current_key() for cursor in pending]
+        step_keys = [cursor.current_key() for cursor, _ in pending]
         builder.lookups += len(keys) + len(step_keys)
         outcomes = self._plane.get_round(keys + step_keys)
 
-        still_pending: list[PointLookupCursor] = []
-        for cursor, bucket in zip(pending, outcomes[len(keys):]):
+        still_pending: list[tuple[PointLookupCursor, Region]] = []
+        for (cursor, subquery), bucket in zip(
+            pending, outcomes[len(keys):]
+        ):
+            if isinstance(bucket, BatchFailure):
+                if cursor.probe_failed():
+                    still_pending.append((cursor, subquery))
+                else:
+                    builder.mark_unresolved(subquery)
+                continue
             cursor.advance(bucket)
             if cursor.done:
                 self._collect(cursor.result.bucket, query, builder)
             else:
-                still_pending.append(cursor)
+                still_pending.append((cursor, subquery))
 
         next_tasks: list[_Task] = []
         for task, bucket in zip(frontier, outcomes[: len(keys)]):
-            if bucket is None:
-                still_pending.append(self._fallback_cursor(task))
+            if isinstance(bucket, BatchFailure):
+                builder.mark_unresolved(task.subquery)
+            elif bucket is None:
+                still_pending.append(
+                    (self._fallback_cursor(task), task.subquery)
+                )
             else:
                 self._dispatch(task, bucket, query, builder, next_tasks)
         return next_tasks, still_pending

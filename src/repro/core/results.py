@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro.common.geometry import Region
 from repro.core.bucket import LeafBucket
 from repro.core.records import Record
 
@@ -40,6 +41,13 @@ class RangeQueryResult:
     ``batch_rounds`` additionally reports how many batched DHT rounds
     the query issued on the execution plane (0 under the sequential
     plane) — a diagnostic for the round structure, not a paper metric.
+
+    ``complete`` is the partial-result contract of degraded mode: True
+    means every subquery probe resolved and ``records`` is the exact
+    answer; False means some probes stayed unreachable after the retry
+    budget and ``unresolved`` enumerates the subregions whose matches
+    (if any) are missing.  Records actually returned are always true
+    matches — degradation loses coverage, never correctness.
     """
 
     records: tuple[Record, ...] = ()
@@ -47,6 +55,8 @@ class RangeQueryResult:
     rounds: int = 0
     visited_leaves: frozenset[str] = frozenset()
     batch_rounds: int = 0
+    complete: bool = True
+    unresolved: tuple[Region, ...] = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,11 +69,18 @@ class Neighbor:
 
 @dataclass(frozen=True, slots=True)
 class KnnResult:
-    """Top-k neighbours plus the paper's two cost measures."""
+    """Top-k neighbours plus the paper's two cost measures.
+
+    ``complete=False`` marks a degraded answer: some ring range query
+    could not resolve part of its box, so a true neighbour may be
+    missing from ``neighbors``.  The listed neighbours are still real
+    records at their true distances.
+    """
 
     neighbors: tuple[Neighbor, ...]
     lookups: int
     rounds: int
+    complete: bool = True
 
 
 @dataclass(slots=True)
@@ -81,6 +98,7 @@ class RangeQueryBuilder:
     visited_leaves: set[str] = field(default_factory=set)
     batch_rounds: int = 0
     waves: int = 0
+    unresolved: list[Region] = field(default_factory=list)
 
     def open_round(self) -> int:
         """Account one issued round of parallel probes; return its depth.
@@ -110,6 +128,15 @@ class RangeQueryBuilder:
         self.records.extend(matches)
         return True
 
+    def mark_unresolved(self, region: Region) -> None:
+        """Record a subregion whose probe stayed unreachable.
+
+        The built result will carry ``complete=False``; the engine
+        keeps collecting every other subquery — degradation is
+        per-region, never whole-query.
+        """
+        self.unresolved.append(region)
+
     def build(self) -> RangeQueryResult:
         """Freeze the accumulated state into a result value."""
         return RangeQueryResult(
@@ -118,4 +145,6 @@ class RangeQueryBuilder:
             rounds=self.rounds,
             visited_leaves=frozenset(self.visited_leaves),
             batch_rounds=self.batch_rounds,
+            complete=not self.unresolved,
+            unresolved=tuple(self.unresolved),
         )

@@ -15,14 +15,22 @@ interchangeable substrates are provided:
   k-buckets and iterative lookup, demonstrating substrate independence.
 * :class:`repro.dht.pastry.PastryDht` — prefix routing with leaf sets,
   the closest cousin of Bamboo (the paper's actual substrate).
+
+Two stackable wrappers decorate any substrate without the index layers
+noticing: :class:`repro.dht.faults.FaultyDht` injects reproducible
+faults from a seeded :class:`repro.dht.faults.FaultPlan`, and
+:class:`repro.dht.retry.RetryingDht` retries unreachable primitives
+with exponential backoff under an attempt/deadline budget.
 """
 
 from repro.dht.api import Dht, DhtStats
 from repro.dht.hashing import key_digest, ring_between
 from repro.dht.localhash import LocalDht
 from repro.dht.chord import ChordDht
+from repro.dht.faults import FaultInjectedError, FaultPlan, FaultyDht
 from repro.dht.kademlia import KademliaDht
 from repro.dht.pastry import PastryDht
+from repro.dht.retry import RetryingDht
 
 __all__ = [
     "Dht",
@@ -31,6 +39,10 @@ __all__ = [
     "ring_between",
     "LocalDht",
     "ChordDht",
+    "FaultInjectedError",
+    "FaultPlan",
+    "FaultyDht",
     "KademliaDht",
     "PastryDht",
+    "RetryingDht",
 ]

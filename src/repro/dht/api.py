@@ -92,8 +92,19 @@ class DhtStats:
     ``lookups``/``gets``/``puts``), ``batch_ops`` — how many elements
     those batches carried.  ``retries`` counts retried attempts made by
     a :class:`~repro.dht.retry.RetryingDht` wrapper (each retry is also
-    metered as a fresh lookup), and ``batch_retries`` the subset of
-    those retries that re-issued failed *batch* elements.
+    metered as a fresh lookup), ``batch_retries`` the subset of
+    those retries that re-issued failed *batch* elements, and
+    ``backoff_waits`` how many simulated-clock backoff pauses the
+    wrapper inserted between attempts.
+
+    The ``faults_*`` counters meter the deterministic fault-injection
+    plane (:mod:`repro.dht.faults`): one tick per injected fault, split
+    by kind — ``faults_dropped`` (the primitive raised),
+    ``faults_timed_out`` (the primitive burned its deadline, then
+    raised), ``faults_slowed`` (the reply was delayed but delivered)
+    and ``faults_stale`` (a read answered with a superseded value).
+    They count *injections*, not costs: a dropped probe was still
+    metered in ``lookups``/``gets``.
     """
 
     lookups: int = 0
@@ -109,6 +120,21 @@ class DhtStats:
     batch_ops: int = 0
     retries: int = 0
     batch_retries: int = 0
+    backoff_waits: int = 0
+    faults_dropped: int = 0
+    faults_timed_out: int = 0
+    faults_slowed: int = 0
+    faults_stale: int = 0
+
+    @property
+    def faults_injected(self) -> int:
+        """Total injected faults across all kinds."""
+        return (
+            self.faults_dropped
+            + self.faults_timed_out
+            + self.faults_slowed
+            + self.faults_stale
+        )
 
     def meter_batch(
         self,
@@ -147,6 +173,11 @@ class DhtStats:
             "batch_ops": self.batch_ops,
             "retries": self.retries,
             "batch_retries": self.batch_retries,
+            "backoff_waits": self.backoff_waits,
+            "faults_dropped": self.faults_dropped,
+            "faults_timed_out": self.faults_timed_out,
+            "faults_slowed": self.faults_slowed,
+            "faults_stale": self.faults_stale,
         }
 
     def reset(self) -> None:
@@ -164,6 +195,11 @@ class DhtStats:
         self.batch_ops = 0
         self.retries = 0
         self.batch_retries = 0
+        self.backoff_waits = 0
+        self.faults_dropped = 0
+        self.faults_timed_out = 0
+        self.faults_slowed = 0
+        self.faults_stale = 0
 
 
 class Dht(ABC):
@@ -229,14 +265,25 @@ class Dht(ABC):
 
         Costs one DHT-lookup per key (exactly like ``len(keys)``
         individual gets) but a single batch round.  Raises the first
-        per-element error after the whole batch ran; wrappers that need
-        the failed subset use ``_do_get_many`` directly.
+        per-element error after the whole batch ran; callers that
+        degrade gracefully use :meth:`get_many_outcomes` instead.
+        """
+        return _raise_batch_failures(self.get_many_outcomes(keys))
+
+    def get_many_outcomes(self, keys: Sequence[str]) -> list[Any]:
+        """Fetch several keys as one round, reporting per-slot failures.
+
+        Identical metering to :meth:`get_many`, but an element whose
+        peer was unreachable yields a :class:`BatchFailure` in its slot
+        instead of aborting the round — one failed slot never poisons
+        the round's other results.  Query engines that return partial
+        answers (``complete=False``) build on this.
         """
         keys = list(keys)
         if not keys:
             return []
         self.stats.meter_batch(len(keys), gets=len(keys))
-        return _raise_batch_failures(self._do_get_many(keys))
+        return self._do_get_many(keys)
 
     def put_many(
         self,

@@ -1,10 +1,20 @@
 """Churn generation for DHT robustness experiments.
 
 Produces a deterministic schedule of joins, graceful leaves, and
-crashes, and applies it to a :class:`~repro.dht.chord.ChordDht`
-interleaved with stabilization rounds.  Used by the churn example and
-by the DHT integration tests; the figure reproductions run on a stable
-membership, as the paper's evaluation does.
+crashes, and applies it to any overlay exposing ``join``/``leave``/
+``fail`` — Chord, Kademlia and Pastry all do — interleaved with
+stabilization rounds when the overlay has a periodic protocol
+(``stabilize_all``).  Overlays that replicate (``replication > 1``
+plus a ``repair_replicas`` method, e.g. :class:`~repro.dht.chord.
+ChordDht`) are repaired after every membership event and once more at
+the end of the run, restoring the replica invariant *between*
+consecutive crashes — without this, replicated rings degrade across a
+churn burst and ``survival_ratio`` under-reports what replication
+buys.
+
+Used by the churn example, the DHT integration tests and the E10/E12
+experiments; the figure reproductions run on a stable membership, as
+the paper's evaluation does.
 """
 
 from __future__ import annotations
@@ -13,7 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import ReproError
 from repro.common.rng import make_rng
-from repro.dht.chord import ChordDht
+from repro.dht.api import Dht
 
 
 @dataclass(frozen=True, slots=True)
@@ -31,6 +41,7 @@ class ChurnReport:
     events: list[ChurnEvent] = field(default_factory=list)
     keys_before: int = 0
     keys_after: int = 0
+    repairs: int = 0  # replica copies rewritten by repair passes
 
     @property
     def survival_ratio(self) -> float:
@@ -48,17 +59,28 @@ def generate_schedule(
     seed: int = 0,
 ) -> list[str]:
     """Return *n_events* event kinds drawn by the given weights."""
-    total = join_weight + leave_weight + fail_weight
-    if total <= 0:
+    weights = [join_weight, leave_weight, fail_weight]
+    for name, weight in zip(("join", "leave", "fail"), weights):
+        if weight < 0:
+            raise ReproError(
+                f"{name}_weight must be >= 0, got {weight}"
+            )
+    if sum(weights) <= 0:
         raise ReproError("at least one churn weight must be positive")
     rng = make_rng(seed)
     kinds = ["join", "leave", "fail"]
-    weights = [join_weight, leave_weight, fail_weight]
     return rng.choices(kinds, weights=weights, k=n_events)
 
 
+def _repair(dht: Dht, report: ChurnReport) -> None:
+    """Restore the replica invariant when the overlay maintains one."""
+    repair = getattr(dht, "repair_replicas", None)
+    if repair is not None and getattr(dht, "replication", 1) > 1:
+        report.repairs += repair()
+
+
 def run_churn(
-    dht: ChordDht,
+    dht: Dht,
     n_events: int,
     *,
     join_weight: float = 1.0,
@@ -68,10 +90,18 @@ def run_churn(
     min_peers: int = 4,
     seed: int = 0,
 ) -> ChurnReport:
-    """Apply a churn schedule to *dht*, stabilizing between events."""
+    """Apply a churn schedule to *dht*, stabilizing between events.
+
+    Works on any overlay exposing ``join(name, gateway=...)``,
+    ``leave(name)`` and ``fail(name)``; ``stabilize_all`` and
+    ``repair_replicas`` are driven when present.  Leaves and crashes
+    are suppressed while the overlay has *min_peers* or fewer, so the
+    ring never churns itself away.
+    """
     rng = make_rng(seed + 1)
     report = ChurnReport()
     report.keys_before = sum(1 for _ in dht.items())
+    stabilize = getattr(dht, "stabilize_all", None)
     next_id = 100_000
     for kind in generate_schedule(
         n_events, join_weight, leave_weight, fail_weight, seed
@@ -91,7 +121,14 @@ def run_churn(
         else:
             continue
         report.events.append(ChurnEvent(kind, name))
-        dht.stabilize_all(stabilize_rounds)
-    dht.stabilize_all(stabilize_rounds)
+        if stabilize is not None:
+            stabilize(stabilize_rounds)
+        # Repair between events, not only at the end: two crashes with
+        # an unrepaired replica set between them can both land on the
+        # same key's holders, losing data replication should have kept.
+        _repair(dht, report)
+    if stabilize is not None:
+        stabilize(stabilize_rounds)
+    _repair(dht, report)
     report.keys_after = sum(1 for _ in dht.items())
     return report

@@ -182,12 +182,65 @@ class KademliaDht(NetworkRoundBatchMixin, Dht):
             for key, value in moved:
                 node.store.put(key, value)
 
+    def leave(self, name: str) -> None:
+        """Graceful departure: push each stored key to the remaining
+        node closest to its digest, then go."""
+        node = self._nodes.get(name)
+        if node is None:
+            raise ReproError(f"unknown peer {name!r}")
+        others = [n for n in self._nodes.values() if n.name != name]
+        for key, value in list(node.store.items()):
+            if not others:
+                break
+            digest = key_digest(key)
+            target = min(
+                others, key=lambda n: xor_distance(n.ident, digest)
+            )
+            self.network.rpc(name, target.name, "store_put", key, value)
+        self.network.unregister(name)
+        del self._nodes[name]
+
     def fail(self, name: str) -> None:
         """Abrupt crash."""
         if name not in self._nodes:
             raise ReproError(f"unknown peer {name!r}")
         self.network.unregister(name)
         del self._nodes[name]
+
+    def stabilize_all(self, rounds: int = 1) -> None:
+        """Periodic maintenance, run to convergence.
+
+        Equivalent to the steady state of Kademlia's upkeep — bucket
+        refreshes purge dead contacts and re-learn live ones, and
+        republishing migrates each key to the node now closest to it
+        (what STORE refreshes achieve between churn events).  Done
+        from global knowledge so churn tests converge quickly, the
+        same shortcut :meth:`bootstrap` takes.
+        """
+        for _ in range(rounds):
+            for node in self._nodes.values():
+                for bucket in node.buckets:
+                    bucket[:] = [
+                        pair for pair in bucket if pair[1] in self._nodes
+                    ]
+            self.bootstrap()
+            for node in list(self._nodes.values()):
+                moved = node.store.pop_range(
+                    lambda digest, me=node: min(
+                        self._nodes.values(),
+                        key=lambda n: xor_distance(n.ident, digest),
+                    )
+                    is not me
+                )
+                for key, value in moved:
+                    digest = key_digest(key)
+                    owner = min(
+                        self._nodes.values(),
+                        key=lambda n: xor_distance(n.ident, digest),
+                    )
+                    self.network.rpc(
+                        node.name, owner.name, "store_put", key, value
+                    )
 
     # ------------------------------------------------------------------
     # Iterative lookup
@@ -271,10 +324,15 @@ class KademliaDht(NetworkRoundBatchMixin, Dht):
     def _owner(self, key: str) -> KademliaNode:
         digest = key_digest(key)
         shortlist = self._iterative_find(self._gateway(), digest)
-        if not shortlist:
-            raise ReproError("iterative lookup returned no contacts")
+        # Mid-churn lookups can still shortlist a contact that died
+        # since it was learned; ownership goes to the closest *live*
+        # candidate, exactly as a real client falls through its
+        # shortlist when the best entry stops answering.
+        live = [pair for pair in shortlist if pair[1] in self._nodes]
+        if not live:
+            raise ReproError("iterative lookup returned no live contacts")
         _, owner_name = min(
-            shortlist, key=lambda pair: xor_distance(pair[0], digest)
+            live, key=lambda pair: xor_distance(pair[0], digest)
         )
         return self._nodes[owner_name]
 

@@ -260,6 +260,71 @@ class PastryDht(NetworkRoundBatchMixin, Dht):
             except RpcError:
                 continue
 
+    def leave(self, name: str) -> None:
+        """Graceful departure: hand each stored key to the remaining
+        numerically closest node, then go."""
+        node = self._nodes.get(name)
+        if node is None:
+            raise ReproError(f"unknown peer {name!r}")
+        others = [n for n in self._nodes.values() if n.name != name]
+        for key, value in list(node.store.items()):
+            if not others:
+                break
+            digest = key_digest(key)
+            target = min(
+                others,
+                key=lambda n: numeric_distance(n.ident, digest),
+            )
+            self.network.rpc(name, target.name, "store_put", key, value)
+        self.network.unregister(name)
+        del self._nodes[name]
+        for survivor in self._nodes.values():
+            survivor.forget(name)
+
+    def stabilize_all(self, rounds: int = 1) -> None:
+        """Periodic maintenance, run to convergence.
+
+        Equivalent to the steady state of Pastry's upkeep: dead
+        contacts are purged, leaf sets and routing tables are refilled
+        with live nodes, and each key migrates to the node now
+        numerically closest to it (what neighbouring leaf sets
+        exchange when membership changes).  Done from global knowledge
+        so churn tests converge quickly, the same shortcut
+        :meth:`build` takes.
+        """
+        for _ in range(rounds):
+            live = set(self._nodes)
+            everyone = [
+                (node.ident, node.name) for node in self._nodes.values()
+            ]
+            for node in self._nodes.values():
+                dead = {
+                    contact
+                    for _, contact in node._all_contacts()
+                    if contact not in live
+                }
+                for contact in dead:
+                    node.forget(contact)
+                for ident, contact in everyone:
+                    node.learn(ident, contact)
+            for node in list(self._nodes.values()):
+                moved = node.store.pop_range(
+                    lambda digest, me=node: min(
+                        self._nodes.values(),
+                        key=lambda n: numeric_distance(n.ident, digest),
+                    )
+                    is not me
+                )
+                for key, value in moved:
+                    digest = key_digest(key)
+                    owner = min(
+                        self._nodes.values(),
+                        key=lambda n: numeric_distance(n.ident, digest),
+                    )
+                    self.network.rpc(
+                        node.name, owner.name, "store_put", key, value
+                    )
+
     def fail(self, name: str) -> None:
         """Abrupt crash; survivors lazily forget the dead contact."""
         if name not in self._nodes:

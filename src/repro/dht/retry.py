@@ -7,6 +7,20 @@ any :class:`~repro.dht.api.Dht` and retries failed primitives a bounded
 number of times.  Retried attempts are *metered* — a retry really does
 cost another DHT-lookup on the wire, and the meters are the experiment
 ground truth — and the retry counter is exposed for observability.
+
+Each operation's retry budget is two-sided:
+
+* **attempts** — at most this many tries of the primitive;
+* **deadline** — an optional cap on simulated time the operation may
+  spend (first try included); once backoff would cross it, the last
+  error propagates instead.
+
+Between attempts the wrapper waits ``backoff_base * factor**attempt``
+plus a seeded uniform jitter — on the *simulated* clock from
+:mod:`repro.net.events`, never ``time.sleep``, so tests and
+experiments replay backoff schedules deterministically.  The default
+``backoff_base=0.0`` keeps the pre-backoff behavior: immediate
+retries, no clock interaction.
 """
 
 from __future__ import annotations
@@ -15,29 +29,77 @@ from collections.abc import Iterator, Sequence
 from typing import Any
 
 from repro.common.errors import NodeUnreachableError, ReproError
+from repro.common.rng import derive_seed, make_rng
 from repro.dht.api import (
     BatchFailure,
     Dht,
     _check_records_moved,
     _raise_batch_failures,
 )
+from repro.net.events import EventScheduler
 
 
 class RetryingDht(Dht):
     """Wrap *inner* so transient RPC failures are retried.
 
-    Only :class:`NodeUnreachableError` (and its subclass ``RpcError``)
-    triggers a retry; data errors such as ``DhtKeyError`` propagate
-    immediately.  After *attempts* consecutive failures the last error
-    propagates.
+    Only :class:`NodeUnreachableError` (and its subclasses ``RpcError``
+    and ``FaultInjectedError``) triggers a retry; data errors such as
+    ``DhtKeyError`` propagate immediately.  After *attempts*
+    consecutive failures — or once the *deadline* budget of simulated
+    time is spent — the last error propagates.
+
+    *backoff_base* > 0 enables exponential backoff: the wait before
+    retry ``n`` (0-based) is ``backoff_base * backoff_factor**n``
+    plus ``uniform(0, jitter)`` drawn from a private RNG seeded with
+    *seed*.  Waits advance *clock* — resolved from
+    ``inner.network.clock`` when the substrate routes over a simulated
+    network, or a private scheduler otherwise — and are tallied in
+    ``stats.backoff_waits``.
     """
 
-    def __init__(self, inner: Dht, attempts: int = 3) -> None:
+    def __init__(
+        self,
+        inner: Dht,
+        attempts: int = 3,
+        *,
+        backoff_base: float = 0.0,
+        backoff_factor: float = 2.0,
+        jitter: float = 0.0,
+        deadline: float | None = None,
+        clock: EventScheduler | None = None,
+        seed: int = 0,
+    ) -> None:
         super().__init__()
         if attempts < 1:
             raise ReproError(f"attempts must be >= 1, got {attempts}")
+        if backoff_base < 0:
+            raise ReproError(
+                f"backoff_base must be >= 0, got {backoff_base}"
+            )
+        if backoff_factor < 1:
+            raise ReproError(
+                f"backoff_factor must be >= 1, got {backoff_factor}"
+            )
+        if jitter < 0:
+            raise ReproError(f"jitter must be >= 0, got {jitter}")
+        if deadline is not None and deadline <= 0:
+            raise ReproError(
+                f"deadline must be positive, got {deadline}"
+            )
         self._inner = inner
         self._attempts = attempts
+        self._backoff_base = backoff_base
+        self._backoff_factor = backoff_factor
+        self._jitter = jitter
+        self._deadline = deadline
+        if clock is None:
+            network = getattr(inner, "network", None)
+            clock = getattr(network, "clock", None)
+            if clock is None:
+                clock = getattr(inner, "clock", None) or EventScheduler()
+        self._clock = clock
+        self._rng = make_rng(derive_seed(seed, "retry-backoff"))
+        self.backoff_time = 0.0
         # Share the inner stats object so every attempt is metered in
         # one place and index layers keep reading the usual counters.
         self.stats = inner.stats
@@ -48,19 +110,46 @@ class RetryingDht(Dht):
         return self._inner
 
     @property
+    def clock(self) -> EventScheduler:
+        """The simulated clock backoff waits advance."""
+        return self._clock
+
+    @property
     def retries(self) -> int:
         """Total retried attempts, mirrored from the shared stats."""
         return self.stats.retries
 
+    def _backoff(self, attempt: int, started: float) -> bool:
+        """Wait before retry number *attempt*; False when the budget
+        (deadline) forbids another try."""
+        delay = 0.0
+        if self._backoff_base > 0:
+            delay = self._backoff_base * self._backoff_factor**attempt
+        if self._jitter > 0:
+            delay += self._rng.uniform(0.0, self._jitter)
+        if self._deadline is not None:
+            spent = self._clock.now - started
+            if spent + delay >= self._deadline:
+                return False
+        if delay > 0:
+            self._clock.advance(delay)
+            self.backoff_time += delay
+            self.stats.backoff_waits += 1
+        return True
+
     def _with_retries(self, operation, *args, **kwargs):
+        started = self._clock.now
         last_error: Exception | None = None
         for attempt in range(self._attempts):
             try:
                 return operation(*args, **kwargs)
             except NodeUnreachableError as error:
                 last_error = error
-                if attempt + 1 < self._attempts:
-                    self.stats.retries += 1
+                if attempt + 1 >= self._attempts:
+                    break
+                if not self._backoff(attempt, started):
+                    break
+                self.stats.retries += 1
         assert last_error is not None
         raise last_error
 
@@ -95,10 +184,19 @@ class RetryingDht(Dht):
     # elements included: a retry really does cost another DHT-lookup.
 
     def _batch_with_retries(self, primitive, elements, meter):
+        """Per-element outcomes after retrying only the failed subset.
+
+        Slots still failing when the attempt or deadline budget runs
+        out keep their :class:`BatchFailure`; the caller decides
+        whether to raise (``*_many``) or degrade
+        (``get_many_outcomes``)."""
+        started = self._clock.now
         outcomes: list[Any] = [None] * len(elements)
         pending = list(range(len(elements)))
         for attempt in range(self._attempts):
             if attempt:
+                if not self._backoff(attempt - 1, started):
+                    break
                 self.stats.retries += len(pending)
                 self.stats.batch_retries += len(pending)
             meter(pending)
@@ -111,9 +209,12 @@ class RetryingDht(Dht):
             pending = failed
             if not pending:
                 break
-        return _raise_batch_failures(outcomes)
+        return outcomes
 
     def get_many(self, keys: Sequence[str]) -> list[Any | None]:
+        return _raise_batch_failures(self.get_many_outcomes(keys))
+
+    def get_many_outcomes(self, keys: Sequence[str]) -> list[Any]:
         keys = list(keys)
         if not keys:
             return []
@@ -135,7 +236,7 @@ class RetryingDht(Dht):
         if not items:
             return
         moved = _check_records_moved(items, records_moved)
-        self._batch_with_retries(
+        _raise_batch_failures(self._batch_with_retries(
             self._inner._do_put_many,
             items,
             lambda pending: self.stats.meter_batch(
@@ -143,17 +244,17 @@ class RetryingDht(Dht):
                 puts=len(pending),
                 records_moved=sum(moved[slot] for slot in pending),
             ),
-        )
+        ))
 
     def lookup_many(self, keys: Sequence[str]) -> list[str]:
         keys = list(keys)
         if not keys:
             return []
-        return self._batch_with_retries(
+        return _raise_batch_failures(self._batch_with_retries(
             self._inner._do_lookup_many,
             keys,
             lambda pending: self.stats.meter_batch(len(pending)),
-        )
+        ))
 
     def rewrite_local(self, key: str, value: Any) -> None:
         # Local rewrites never cross the wire; no retry needed.

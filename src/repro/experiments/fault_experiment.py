@@ -1,0 +1,202 @@
+"""E12 — recall and retry cost vs injected fault rate (degraded mode).
+
+E10 measures what *peer loss* costs the index; this experiment
+measures what *message loss* costs it, and what the resilience stack
+(retries with backoff below, partial results above) buys back.  The
+setup stacks the fault plane under the retry wrapper::
+
+    MLightIndex -> RetryingDht -> FaultyDht -> ChordDht
+
+and sweeps the injected fault rate (half drops, half timeouts) against
+the replication factor.  Each run also crashes one peer mid-way — with
+stabilization and replica repair — so the replication axis is
+exercised the way E10 exercises it, while the fault axis stresses the
+query path on top.
+
+Ground truth is collected with injection suspended; the fault plan is
+seeded per cell, so every cell (and the whole table) is reproducible
+bit-for-bit from the experiment seed.
+
+Expected shape: at rate 0 the table reduces to E10's story
+(replication >= 2 repairs the crash; recall 1.0).  As the rate grows,
+a probe only stays unanswered when *every* retry attempt faults, so
+recall erodes slowly (≈ rate^attempts per probe) while the retry and
+backoff counters — the price paid for that recall — grow steeply.
+Queries never abort: unreachable subregions surface as
+``complete=False`` partial results, counted in the ``degraded``
+column.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.common.config import IndexConfig
+from repro.common.errors import NodeUnreachableError, ReproError
+from repro.common.geometry import Point
+from repro.common.rng import derive_seed, make_rng
+from repro.core.index import MLightIndex
+from repro.dht.chord import ChordDht
+from repro.dht.faults import FaultPlan, FaultyDht
+from repro.dht.retry import RetryingDht
+from repro.experiments.tables import format_table
+from repro.workloads.queries import uniform_range_queries
+
+__all__ = ["FaultRecallSample", "run_fault_recall", "render"]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRecallSample:
+    """One (replication, fault-rate) cell of the E12 sweep."""
+
+    replication: int
+    fault_rate: float
+    recall: float
+    degraded: int  # queries answered with complete=False
+    failed: int  # queries lost to tree damage (crash, replication 1)
+    retries: int
+    backoff_waits: int
+    faults_injected: int
+    backoff_time: float
+
+
+def run_fault_recall(
+    points: Sequence[Point],
+    config: IndexConfig,
+    fault_rates: Sequence[float] = (0.0, 0.1, 0.2, 0.3),
+    replication_factors: Sequence[int] = (1, 2, 3),
+    n_peers: int = 16,
+    n_queries: int = 12,
+    span: float = 0.1,
+    attempts: int = 3,
+    seed: int = 0,
+) -> list[FaultRecallSample]:
+    """Sweep injected fault rate x replication factor.
+
+    Each cell builds a fresh index, crashes one peer (stabilizing and
+    repairing replicas), then answers *n_queries* range queries with
+    faults injected at *fault_rates* — reads, writes and lookups alike
+    — through a retry wrapper with exponential backoff.  Recall is the
+    fraction of the fault-free answer still returned.
+    """
+    queries = uniform_range_queries(
+        n_queries, span, dims=config.dims, seed=seed
+    )
+    samples = []
+    for replication in replication_factors:
+        for rate in fault_rates:
+            chord = ChordDht.build(n_peers, replication=replication)
+            plan = FaultPlan(
+                derive_seed(seed, "e12", replication, rate),
+                drop_rate=rate / 2.0,
+                timeout_rate=rate / 2.0,
+            )
+            faulty = FaultyDht(chord, plan)
+            dht = RetryingDht(
+                faulty,
+                attempts=attempts,
+                backoff_base=0.05,
+                jitter=0.01,
+                seed=derive_seed(seed, "e12-backoff", replication, rate),
+            )
+            index = MLightIndex(dht, config)
+            with faulty.suspended():
+                for point in points:
+                    index.insert(point)
+                truth = [
+                    {
+                        record.key
+                        for record in index.range_query(query).records
+                    }
+                    for query in queries
+                ]
+            # One mid-run crash, repaired when replication allows, so
+            # the replication axis carries E10's meaning here too.
+            rng = make_rng(seed + 1)  # same victim for every cell
+            victims = chord.peers()
+            chord.fail(victims[rng.randrange(len(victims))])
+            chord.stabilize_all(3)
+            chord.repair_replicas()
+
+            before = dht.stats.snapshot()
+            backoff_before = dht.backoff_time
+            matched = 0
+            total = 0
+            degraded = 0
+            failed = 0
+            for query, expected in zip(queries, truth):
+                try:
+                    result = index.range_query(query)
+                except NodeUnreachableError:  # pragma: no cover
+                    raise AssertionError(
+                        "degraded mode must never surface unreachability"
+                    ) from None
+                except ReproError:
+                    # Tree damage from the crash (replication 1): some
+                    # descent path is unresolvable outright.
+                    failed += 1
+                    total += len(expected)
+                    continue
+                got = {record.key for record in result.records}
+                matched += len(got & expected)
+                total += len(expected)
+                if not result.complete:
+                    degraded += 1
+            after = dht.stats.snapshot()
+            samples.append(
+                FaultRecallSample(
+                    replication=replication,
+                    fault_rate=rate,
+                    recall=matched / total if total else 1.0,
+                    degraded=degraded,
+                    failed=failed,
+                    retries=after["retries"] - before["retries"],
+                    backoff_waits=(
+                        after["backoff_waits"] - before["backoff_waits"]
+                    ),
+                    faults_injected=(
+                        after["faults_dropped"]
+                        + after["faults_timed_out"]
+                        + after["faults_slowed"]
+                        + after["faults_stale"]
+                        - before["faults_dropped"]
+                        - before["faults_timed_out"]
+                        - before["faults_slowed"]
+                        - before["faults_stale"]
+                    ),
+                    backoff_time=dht.backoff_time - backoff_before,
+                )
+            )
+    return samples
+
+
+def render(samples: list[FaultRecallSample]) -> str:
+    headers = [
+        "replication",
+        "fault rate",
+        "recall",
+        "degraded",
+        "failed",
+        "retries",
+        "backoff waits",
+        "faults injected",
+        "backoff time",
+    ]
+    rows = [
+        [
+            s.replication,
+            s.fault_rate,
+            s.recall,
+            s.degraded,
+            s.failed,
+            s.retries,
+            s.backoff_waits,
+            s.faults_injected,
+            s.backoff_time,
+        ]
+        for s in samples
+    ]
+    return format_table(
+        headers, rows, title="E12: recall and retry cost vs fault rate"
+    )

@@ -22,6 +22,7 @@ from repro.experiments import (
     ablation,
     charts,
     churn_experiment,
+    fault_experiment,
     fig5,
     fig6,
     fig7,
@@ -137,6 +138,11 @@ def main(argv: list[str] | None = None) -> int:
     print("\n=== Extension E11: mixed insert/delete maintenance ===")
     print(mixed_workload.render(
         mixed_workload.run_mixed_workload(small, config, seed=args.seed)
+    ))
+
+    print("\n=== Extension E12: recall and retry cost vs fault rate ===")
+    print(fault_experiment.render(
+        fault_experiment.run_fault_recall(tiny, config, seed=args.seed)
     ))
 
     if args.csv_dir:

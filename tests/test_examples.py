@@ -46,6 +46,8 @@ class TestExamples:
 
     def test_churn_resilience(self):
         out = run_example("churn_resilience.py")
+        assert "crashes" in out
+        assert "replica copies repaired" in out
         assert "survival 100.0%" in out
         assert "identical across churn" in out
 
