@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-faults bench bench-smoke bench-hotpath bench-full experiments experiments-full clean
+.PHONY: install lint test test-faults trace-smoke bench bench-smoke bench-hotpath bench-full experiments experiments-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +16,10 @@ test:
 test-faults:
 	$(PYTHON) -m pytest tests/test_faults.py tests/test_churn.py tests/test_retry.py
 	REPRO_BENCH_SIZE=1500 $(PYTHON) -m pytest benchmarks/test_faults.py -m smoke
+
+trace-smoke:
+	$(PYTHON) -m repro.experiments.trace_report --smoke
+	$(PYTHON) -m pytest tests/test_obs.py benchmarks/test_trace_overhead.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

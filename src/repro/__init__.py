@@ -36,6 +36,14 @@ from repro.dht.chord import ChordDht
 from repro.dht.kademlia import KademliaDht
 from repro.dht.localhash import LocalDht
 from repro.dht.pastry import PastryDht
+from repro.obs import (
+    JsonlTraceSink,
+    MetricsRegistry,
+    Span,
+    TraceSink,
+    Tracer,
+    profile_report,
+)
 
 __version__ = "1.0.0"
 
@@ -60,5 +68,11 @@ __all__ = [
     "KademliaDht",
     "LocalDht",
     "PastryDht",
+    "JsonlTraceSink",
+    "MetricsRegistry",
+    "Span",
+    "TraceSink",
+    "Tracer",
+    "profile_report",
     "__version__",
 ]

@@ -48,6 +48,14 @@ class IndexConfig:
             parallel DHT round) or ``"sequential"`` (one ``get`` per
             probe, the reference semantics).  Answers and lookup meters
             are identical either way.
+        tracing: when True the index builds a
+            :class:`~repro.obs.trace.Tracer` and threads it through the
+            engines, planes, DHT stack and simulated network, so every
+            query emits a hierarchical span tree (query → round → DHT
+            primitive → network round).  Off by default: the disabled
+            path is a single ``is None`` check per operation, keeping
+            metered and timed behaviour bit-identical to an untraced
+            index.
     """
 
     dims: int = 2
@@ -59,6 +67,7 @@ class IndexConfig:
     cache_capacity: int = 0
     default_lookahead: int = 1
     execution: str = "batched"
+    tracing: bool = False
 
     STRATEGIES = ("threshold", "data-aware")
     EXECUTION_PLANES = ("batched", "sequential")

@@ -61,6 +61,7 @@ from repro.core.split import (
     ThresholdSplit,
 )
 from repro.dht.api import Dht
+from repro.obs.trace import Tracer
 
 
 def build_strategy(config: IndexConfig) -> SplitStrategy:
@@ -80,6 +81,7 @@ class MLightIndex:
         strategy: SplitStrategy | None = None,
         *,
         cache: LeafCache | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self._dht = dht
         self._config = config if config is not None else IndexConfig()
@@ -89,6 +91,15 @@ class MLightIndex:
         if cache is None and self._config.cache_capacity > 0:
             cache = LeafCache(self._config.cache_capacity)
         self._cache = cache
+        if tracer is None and self._config.tracing:
+            tracer = Tracer()
+        self._tracer = tracer
+        if tracer is not None:
+            # Thread the tracer down the substrate stack (retry and
+            # fault wrappers included) and into the simulated network,
+            # so DHT-primitive and message-round spans nest under the
+            # query spans this index opens.
+            tracer.attach(dht)
         self._batched = self._config.execution == "batched"
         self._range_engine = RangeQueryEngine(
             dht,
@@ -96,6 +107,7 @@ class MLightIndex:
             self._config.max_depth,
             cache=cache,
             batched=self._batched,
+            tracer=tracer,
         )
         self._knn_engine = KnnEngine(
             dht,
@@ -103,6 +115,7 @@ class MLightIndex:
             self._config.max_depth,
             cache=cache,
             batched=self._batched,
+            tracer=tracer,
         )
         self._bootstrap()
 
@@ -158,6 +171,11 @@ class MLightIndex:
         """This client's leaf cache; None when caching is disabled."""
         return self._cache
 
+    @property
+    def tracer(self) -> Tracer | None:
+        """The attached tracer; None when tracing is disabled."""
+        return self._tracer
+
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
@@ -169,7 +187,8 @@ class MLightIndex:
         stale or missing hint falls back to the binary search.
         """
         return lookup_point(
-            self._dht, point, self.dims, self.max_depth, cache=self._cache
+            self._dht, point, self.dims, self.max_depth,
+            cache=self._cache, tracer=self._tracer,
         )
 
     def exact_match(self, point: Point) -> list[Record]:
@@ -185,6 +204,17 @@ class MLightIndex:
         peer, plus whatever the split strategy triggers.
         """
         record = Record.make(key, value, dims=self.dims)
+        tracer = self._tracer
+        if tracer is None:
+            return self._do_insert(record)
+        with tracer.span(
+            "update", "insert", key=list(record.key)
+        ) as span:
+            result = self._do_insert(record)
+            span.attrs["leaf"] = result.bucket.label
+            return result
+
+    def _do_insert(self, record: Record) -> LookupResult:
         result = self.lookup(record.key)
         bucket = result.bucket
         bucket.add(record)
@@ -194,6 +224,8 @@ class MLightIndex:
             bucket.label, bucket.records, self.dims, self.max_depth
         )
         if plan is not None:
+            if self._tracer is not None:
+                self._tracer.event("split", origin=plan.origin)
             self._apply_split(plan)
         return result
 
@@ -218,6 +250,15 @@ class MLightIndex:
         may trigger cascading sibling merges.
         """
         point = check_point(tuple(key), self.dims)
+        tracer = self._tracer
+        if tracer is None:
+            return self._do_delete(point, value)
+        with tracer.span("update", "delete", key=list(point)) as span:
+            deleted = self._do_delete(point, value)
+            span.attrs["deleted"] = deleted
+            return deleted
+
+    def _do_delete(self, point: Point, value: Any) -> bool:
         bucket = self.lookup(point).bucket
         victim = None
         for record in bucket.records:
@@ -416,6 +457,8 @@ class MLightIndex:
                 self.dims,
                 list(bucket.records) + list(other.records),
             )
+            if self._tracer is not None:
+                self._tracer.event("merge", parent=parent_label)
             self._dht.remove(
                 bucket_key(parent_label), records_moved=moved.load
             )

@@ -27,6 +27,7 @@ distances, but a closer neighbour may hide in an unresolved subregion.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 from repro.common.errors import NodeUnreachableError, ReproError
 from repro.common.geometry import Point, Region, check_point
@@ -35,6 +36,9 @@ from repro.core.lookup import lookup_point
 from repro.core.rangequery import RangeQueryEngine
 from repro.core.results import KnnResult, Neighbor
 from repro.dht.api import Dht
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 __all__ = ["KnnEngine", "KnnResult", "Neighbor", "euclidean"]
 
@@ -61,15 +65,18 @@ class KnnEngine:
         cache: LeafCache | None = None,
         *,
         batched: bool = True,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self._dht = dht
         self._dims = dims
         self._max_depth = max_depth
         self._cache = cache
+        self.tracer = tracer
         # Ring expansions ride the same execution plane as plain range
         # queries: each ring's frontier probes go out as one round.
         self._ranges = RangeQueryEngine(
-            dht, dims, max_depth, cache=cache, batched=batched
+            dht, dims, max_depth, cache=cache, batched=batched,
+            tracer=tracer,
         )
 
     def query(self, point: Point, k: int) -> KnnResult:
@@ -82,6 +89,19 @@ class KnnEngine:
         if k < 1:
             raise ReproError(f"k must be >= 1, got {k}")
         point = check_point(point, self._dims)
+        tracer = self.tracer
+        if tracer is None:
+            return self._execute(point, k)
+        with tracer.span(
+            "query", "knn", k=k, point=list(point)
+        ) as span:
+            result = self._execute(point, k)
+            span.attrs["lookups"] = result.lookups
+            span.attrs["rounds"] = result.rounds
+            span.attrs["complete"] = result.complete
+            return result
+
+    def _execute(self, point: Point, k: int) -> KnnResult:
 
         # Seed the radius from the leaf covering the query point: its
         # cell diameter is the natural scale of the local data density.
@@ -92,7 +112,7 @@ class KnnEngine:
         try:
             seed = lookup_point(
                 self._dht, point, self._dims, self._max_depth,
-                cache=self._cache,
+                cache=self._cache, tracer=self.tracer,
             )
         except NodeUnreachableError:
             spent = self._dht.stats.lookups - lookups_before
@@ -111,6 +131,8 @@ class KnnEngine:
         complete = True
         while True:
             box = self._ball_box(point, radius)
+            if self.tracer is not None:
+                self.tracer.event("ring", radius=radius)
             result = self._ranges.query(box)
             lookups += result.lookups
             rounds += result.rounds

@@ -38,6 +38,8 @@ concurrent fallback searches advance together with the frontier.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.common.errors import IndexCorruptionError, NodeUnreachableError
 from repro.common.geometry import Point, check_point
 from repro.common.labels import packed_candidate, unpack_label
@@ -50,6 +52,9 @@ from repro.core.naming import (
 )
 from repro.core.results import LookupResult
 from repro.dht.api import Dht, DhtStats
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 __all__ = ["LookupResult", "PointLookupCursor", "lookup_point"]
 
@@ -83,6 +88,7 @@ class PointLookupCursor:
         "_name",
         "probes",
         "result",
+        "tracer",
     )
 
     def __init__(
@@ -95,9 +101,11 @@ class PointLookupCursor:
         min_label_length: int | None = None,
         max_label_length: int | None = None,
         cache: LeafCache | None = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self._stats = stats
         self._cache = cache
+        self.tracer = tracer
         self._dims = dims
         self._point = check_point(point, dims)
         # The candidate is computed and probed on the packed fast path:
@@ -123,6 +131,8 @@ class PointLookupCursor:
             else:
                 self._hint = hint
                 self._name = naming_function(hint, dims)
+                if tracer is not None:
+                    tracer.event("cache_hint", label=hint)
         if self._name is None:
             self._select_mid()
 
@@ -171,6 +181,8 @@ class PointLookupCursor:
             return False
         hint, self._hint = self._hint, None
         self._cache.forget(hint)
+        if self.tracer is not None:
+            self.tracer.event("cache_hint_dead", label=hint)
         self._select_mid()
         return True
 
@@ -193,6 +205,8 @@ class PointLookupCursor:
             # tightened interval.
             self._stats.cache_stale += 1
             self._cache.forget(hint)
+            if self.tracer is not None:
+                self.tracer.event("cache_hint_stale", label=hint)
             if bucket is None:
                 # fmd(hint) is not internal: target length <= len(name).
                 self._high = min(self._high, len(name))
@@ -243,6 +257,7 @@ def lookup_point(
     min_label_length: int | None = None,
     max_label_length: int | None = None,
     cache: LeafCache | None = None,
+    tracer: "Tracer | None" = None,
 ) -> LookupResult:
     """Locate the leaf bucket covering *point*; hinted when cached.
 
@@ -254,7 +269,47 @@ def lookup_point(
     *cache* enables the hinted fast path and is warmed with every leaf
     this lookup observes (the covering leaf, and any current leaf a
     stale probe happened to return).
+
+    *tracer*, when given, wraps the search in a ``query``-kind span and
+    annotates cache hint proposals/evictions as span events.
     """
+    if tracer is None:
+        return _drive_lookup(
+            dht,
+            point,
+            dims,
+            max_depth,
+            min_label_length=min_label_length,
+            max_label_length=max_label_length,
+            cache=cache,
+        )
+    with tracer.span("query", "lookup", point=list(point)) as span:
+        result = _drive_lookup(
+            dht,
+            point,
+            dims,
+            max_depth,
+            min_label_length=min_label_length,
+            max_label_length=max_label_length,
+            cache=cache,
+            tracer=tracer,
+        )
+        span.attrs["probes"] = result.lookups
+        span.attrs["leaf"] = result.bucket.label
+        return result
+
+
+def _drive_lookup(
+    dht: Dht,
+    point: Point,
+    dims: int,
+    max_depth: int,
+    *,
+    min_label_length: int | None = None,
+    max_label_length: int | None = None,
+    cache: LeafCache | None = None,
+    tracer: "Tracer | None" = None,
+) -> LookupResult:
     cursor = PointLookupCursor(
         dht.stats,
         point,
@@ -263,6 +318,7 @@ def lookup_point(
         min_label_length=min_label_length,
         max_label_length=max_label_length,
         cache=cache,
+        tracer=tracer,
     )
     while not cursor.done:
         try:

@@ -26,14 +26,23 @@ instead of aborting the round, so one dead probe never poisons the
 round's other results.  The engines translate failed slots into
 ``complete=False`` partial results — see "Degraded mode" in
 ``docs/architecture.md``.
+
+When a :class:`~repro.obs.trace.Tracer` is supplied, each round runs
+inside a ``round`` span (``sequential_round``/``batched_round``) so
+the trace tree mirrors the algorithm's round structure; with
+``tracer=None`` (the default) the plane takes the exact pre-tracing
+code path.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.dht.api import Dht, _capture
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 __all__ = ["BatchedPlane", "SequentialPlane", "make_plane"]
 
@@ -43,11 +52,16 @@ class SequentialPlane:
 
     batched = False
 
-    def __init__(self, dht: Dht) -> None:
+    def __init__(self, dht: Dht, tracer: "Tracer | None" = None) -> None:
         self._dht = dht
+        self.tracer = tracer
 
     def get_round(self, keys: Sequence[str]) -> list[Any]:
-        return [_capture(self._dht.get, key) for key in keys]
+        tracer = self.tracer
+        if tracer is None:
+            return [_capture(self._dht.get, key) for key in keys]
+        with tracer.span("round", "sequential_round", probes=len(keys)):
+            return [_capture(self._dht.get, key) for key in keys]
 
 
 class BatchedPlane:
@@ -55,13 +69,22 @@ class BatchedPlane:
 
     batched = True
 
-    def __init__(self, dht: Dht) -> None:
+    def __init__(self, dht: Dht, tracer: "Tracer | None" = None) -> None:
         self._dht = dht
+        self.tracer = tracer
 
     def get_round(self, keys: Sequence[str]) -> list[Any]:
-        return self._dht.get_many_outcomes(keys)
+        tracer = self.tracer
+        if tracer is None:
+            return self._dht.get_many_outcomes(keys)
+        with tracer.span("round", "batched_round", probes=len(keys)):
+            return self._dht.get_many_outcomes(keys)
 
 
-def make_plane(dht: Dht, batched: bool) -> SequentialPlane | BatchedPlane:
+def make_plane(
+    dht: Dht, batched: bool, tracer: "Tracer | None" = None
+) -> SequentialPlane | BatchedPlane:
     """The plane matching an engine's ``batched`` flag."""
-    return BatchedPlane(dht) if batched else SequentialPlane(dht)
+    return (
+        BatchedPlane(dht, tracer) if batched else SequentialPlane(dht, tracer)
+    )

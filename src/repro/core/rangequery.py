@@ -56,6 +56,7 @@ path").
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.common.errors import IndexCorruptionError, InvalidRegionError
 from repro.common.geometry import (
@@ -79,6 +80,9 @@ from repro.core.naming import naming_function
 from repro.core.plane import make_plane
 from repro.core.results import RangeQueryBuilder, RangeQueryResult
 from repro.dht.api import BatchFailure, Dht
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 __all__ = [
     "RangeQueryEngine",
@@ -137,12 +141,14 @@ class RangeQueryEngine:
         cache: LeafCache | None = None,
         *,
         batched: bool = True,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self._dht = dht
         self._dims = dims
         self._max_depth = max_depth
         self._cache = cache
-        self._plane = make_plane(dht, batched)
+        self.tracer = tracer
+        self._plane = make_plane(dht, batched, tracer)
 
     def query(
         self, query: RegionLike, lookahead: int = 1
@@ -164,6 +170,25 @@ class RangeQueryEngine:
                 f"lookahead must be a power of two >= 1, got {lookahead}"
             )
         levels = lookahead.bit_length() - 1
+        tracer = self.tracer
+        if tracer is None:
+            return self._execute(query, levels)
+        with tracer.span(
+            "query",
+            "range",
+            lookahead=1 << levels,
+            lows=list(query.lows),
+            highs=list(query.highs),
+        ) as span:
+            result = self._execute(query, levels)
+            span.attrs["lookups"] = result.lookups
+            span.attrs["rounds"] = result.rounds
+            span.attrs["batch_rounds"] = result.batch_rounds
+            span.attrs["records"] = len(result.records)
+            span.attrs["complete"] = result.complete
+            return result
+
+    def _execute(self, query: Region, levels: int) -> RangeQueryResult:
         builder = RangeQueryBuilder()
         batch_rounds_before = self._dht.stats.batch_rounds
         lca = compute_lca(query, self._dims, self._max_depth)
@@ -176,6 +201,16 @@ class RangeQueryEngine:
         builder.batch_rounds = (
             self._dht.stats.batch_rounds - batch_rounds_before
         )
+        if self._plane.batched:
+            # Reconcile the latency meters: under the batched plane
+            # every issued wave is normally exactly one batch round, so
+            # ``rounds == batch_rounds``.  A retry wrapper, however,
+            # re-issues a failed sub-batch as its *own* wire round
+            # within the same wave — extra sequential latency the
+            # wave count alone would under-report.  ``rounds`` is the
+            # longest chain of sequential DHT-lookups, so it absorbs
+            # the retry rounds; fault-free queries are unaffected.
+            builder.rounds = max(builder.rounds, builder.batch_rounds)
         return builder.build()
 
     # ------------------------------------------------------------------
@@ -237,7 +272,7 @@ class RangeQueryEngine:
                 if cursor.probe_failed():
                     still_pending.append((cursor, subquery))
                 else:
-                    builder.mark_unresolved(subquery)
+                    self._mark_unresolved(builder, subquery)
                 continue
             cursor.advance(bucket)
             if cursor.done:
@@ -248,7 +283,7 @@ class RangeQueryEngine:
         next_tasks: list[_Task] = []
         for task, bucket in zip(frontier, outcomes[: len(keys)]):
             if isinstance(bucket, BatchFailure):
-                builder.mark_unresolved(task.subquery)
+                self._mark_unresolved(builder, task.subquery)
             elif bucket is None:
                 still_pending.append(
                     (self._fallback_cursor(task), task.subquery)
@@ -335,7 +370,20 @@ class RangeQueryEngine:
             min_label_length=min_length,
             max_label_length=len(task.target) - 1,
             cache=self._cache,
+            tracer=self.tracer,
         )
+
+    def _mark_unresolved(
+        self, builder: RangeQueryBuilder, region: Region
+    ) -> None:
+        """Record a degraded subregion, annotating the active trace."""
+        builder.mark_unresolved(region)
+        if self.tracer is not None:
+            self.tracer.event(
+                "unresolved",
+                lows=list(region.lows),
+                highs=list(region.highs),
+            )
 
     def _collect(
         self, bucket: LeafBucket, query: Region, builder: RangeQueryBuilder

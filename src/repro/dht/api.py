@@ -21,8 +21,11 @@ import os
 from abc import ABC, abstractmethod
 from collections.abc import Iterator, Sequence
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 from repro.common.errors import DhtKeyError, NodeUnreachableError, ReproError
 
@@ -93,9 +96,11 @@ class DhtStats:
     those batches carried.  ``retries`` counts retried attempts made by
     a :class:`~repro.dht.retry.RetryingDht` wrapper (each retry is also
     metered as a fresh lookup), ``batch_retries`` the subset of
-    those retries that re-issued failed *batch* elements, and
+    those retries that re-issued failed *batch* elements,
     ``backoff_waits`` how many simulated-clock backoff pauses the
-    wrapper inserted between attempts.
+    wrapper inserted between attempts, and ``backoff_time`` the total
+    simulated time those pauses spent (a float; it lives here, not on
+    the wrapper, so a phase reset clears it with everything else).
 
     The ``faults_*`` counters meter the deterministic fault-injection
     plane (:mod:`repro.dht.faults`): one tick per injected fault, split
@@ -121,6 +126,7 @@ class DhtStats:
     retries: int = 0
     batch_retries: int = 0
     backoff_waits: int = 0
+    backoff_time: float = 0.0
     faults_dropped: int = 0
     faults_timed_out: int = 0
     faults_slowed: int = 0
@@ -157,49 +163,26 @@ class DhtStats:
         self.batch_rounds += 1
         self.batch_ops += count
 
-    def snapshot(self) -> dict[str, int]:
-        """Immutable copy of all counters."""
+    def snapshot(self) -> dict[str, int | float]:
+        """Immutable copy of all counters.
+
+        Derived from the dataclass fields, never a hand-written list:
+        a counter added to this class is in the snapshot by
+        construction, so :meth:`reset`, :class:`~repro.metrics.
+        counters.CostMeter` deltas and the property tests that assert
+        reset ⇒ all-zero can never drift out of sync with it again.
+        """
         return {
-            "lookups": self.lookups,
-            "gets": self.gets,
-            "puts": self.puts,
-            "removes": self.removes,
-            "records_moved": self.records_moved,
-            "hops": self.hops,
-            "cache_hits": self.cache_hits,
-            "cache_stale": self.cache_stale,
-            "cache_misses": self.cache_misses,
-            "batch_rounds": self.batch_rounds,
-            "batch_ops": self.batch_ops,
-            "retries": self.retries,
-            "batch_retries": self.batch_retries,
-            "backoff_waits": self.backoff_waits,
-            "faults_dropped": self.faults_dropped,
-            "faults_timed_out": self.faults_timed_out,
-            "faults_slowed": self.faults_slowed,
-            "faults_stale": self.faults_stale,
+            field.name: getattr(self, field.name) for field in fields(self)
         }
 
     def reset(self) -> None:
-        """Zero all counters (between experiment phases)."""
-        self.lookups = 0
-        self.gets = 0
-        self.puts = 0
-        self.removes = 0
-        self.records_moved = 0
-        self.hops = 0
-        self.cache_hits = 0
-        self.cache_stale = 0
-        self.cache_misses = 0
-        self.batch_rounds = 0
-        self.batch_ops = 0
-        self.retries = 0
-        self.batch_retries = 0
-        self.backoff_waits = 0
-        self.faults_dropped = 0
-        self.faults_timed_out = 0
-        self.faults_slowed = 0
-        self.faults_stale = 0
+        """Zero all counters (between experiment phases).
+
+        Covers exactly the :meth:`snapshot` keyset, by construction.
+        """
+        for field in fields(self):
+            setattr(self, field.name, field.default)
 
 
 class Dht(ABC):
@@ -208,10 +191,18 @@ class Dht(ABC):
     Concrete substrates implement the five ``_do_*`` primitives; the
     public methods handle accounting so that every substrate meters
     identically.
+
+    ``tracer`` is the observability hook: ``None`` (the default) keeps
+    every operation on the exact untraced path — one attribute load and
+    one ``is None`` test of overhead — while an attached
+    :class:`~repro.obs.trace.Tracer` wraps each primitive in a
+    ``dht``-kind span right where the metering happens, so span counts
+    and :class:`DhtStats` deltas agree by construction.
     """
 
     def __init__(self) -> None:
         self.stats = DhtStats()
+        self.tracer: "Tracer | None" = None
 
     # ------------------------------------------------------------------
     # Public, metered operations
@@ -220,13 +211,21 @@ class Dht(ABC):
     def lookup(self, key: str) -> str:
         """Locate the peer responsible for *key*; costs one DHT-lookup."""
         self.stats.lookups += 1
-        return self._do_lookup(key)
+        tracer = self.tracer
+        if tracer is None:
+            return self._do_lookup(key)
+        with tracer.span("dht", "lookup", key=key):
+            return self._do_lookup(key)
 
     def get(self, key: str) -> Any | None:
         """Fetch the value at *key* (None when absent); one DHT-lookup."""
         self.stats.lookups += 1
         self.stats.gets += 1
-        return self._do_get(key)
+        tracer = self.tracer
+        if tracer is None:
+            return self._do_get(key)
+        with tracer.span("dht", "get", key=key):
+            return self._do_get(key)
 
     def put(self, key: str, value: Any, *, records_moved: int = 0) -> None:
         """Store *value* at *key*; one DHT-lookup plus *records_moved*
@@ -234,7 +233,12 @@ class Dht(ABC):
         self.stats.lookups += 1
         self.stats.puts += 1
         self.stats.records_moved += records_moved
-        self._do_put(key, value)
+        tracer = self.tracer
+        if tracer is None:
+            self._do_put(key, value)
+            return
+        with tracer.span("dht", "put", key=key, records_moved=records_moved):
+            self._do_put(key, value)
 
     def remove(self, key: str, *, records_moved: int = 0) -> Any:
         """Delete and return the value at *key*; one DHT-lookup.
@@ -246,7 +250,13 @@ class Dht(ABC):
         self.stats.lookups += 1
         self.stats.removes += 1
         self.stats.records_moved += records_moved
-        return self._do_remove(key)
+        tracer = self.tracer
+        if tracer is None:
+            return self._do_remove(key)
+        with tracer.span(
+            "dht", "remove", key=key, records_moved=records_moved
+        ):
+            return self._do_remove(key)
 
     # ------------------------------------------------------------------
     # Batched operations (the round-parallel execution plane)
@@ -283,7 +293,11 @@ class Dht(ABC):
         if not keys:
             return []
         self.stats.meter_batch(len(keys), gets=len(keys))
-        return self._do_get_many(keys)
+        tracer = self.tracer
+        if tracer is None:
+            return self._do_get_many(keys)
+        with tracer.span("dht", "get_many", count=len(keys)):
+            return self._do_get_many(keys)
 
     def put_many(
         self,
@@ -303,7 +317,14 @@ class Dht(ABC):
         self.stats.meter_batch(
             len(items), puts=len(items), records_moved=sum(moved)
         )
-        _raise_batch_failures(self._do_put_many(items))
+        tracer = self.tracer
+        if tracer is None:
+            _raise_batch_failures(self._do_put_many(items))
+            return
+        with tracer.span(
+            "dht", "put_many", count=len(items), records_moved=sum(moved)
+        ):
+            _raise_batch_failures(self._do_put_many(items))
 
     def lookup_many(self, keys: Sequence[str]) -> list[str]:
         """Locate the responsible peers for several keys in one round."""
@@ -311,7 +332,11 @@ class Dht(ABC):
         if not keys:
             return []
         self.stats.meter_batch(len(keys))
-        return _raise_batch_failures(self._do_lookup_many(keys))
+        tracer = self.tracer
+        if tracer is None:
+            return _raise_batch_failures(self._do_lookup_many(keys))
+        with tracer.span("dht", "lookup_many", count=len(keys)):
+            return _raise_batch_failures(self._do_lookup_many(keys))
 
     def rewrite_local(self, key: str, value: Any) -> None:
         """Replace the value at an existing key at zero metered cost.

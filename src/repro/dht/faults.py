@@ -188,9 +188,11 @@ class FaultyDht(Dht):
         # recent routed put replaced.
         self._superseded: dict[str, Any] = {}
         self._last_written: dict[str, Any] = {}
-        # Share the inner stats object so injections, costs and retries
-        # all land on the one counter set experiments read.
+        # Share the inner stats object (and tracer, when one is already
+        # attached) so injections, costs and retries all land on the one
+        # counter set experiments read.
         self.stats = inner.stats
+        self.tracer = inner.tracer
 
     @property
     def inner(self) -> Dht:
@@ -235,6 +237,8 @@ class FaultyDht(Dht):
         kind = self._plan.decide(op, key)
         if kind is None:
             return None
+        if self.tracer is not None:
+            self.tracer.event("fault", kind=kind, op=op, key=key)
         if kind == "drop":
             self.stats.faults_dropped += 1
             raise FaultInjectedError(

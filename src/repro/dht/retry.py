@@ -99,15 +99,26 @@ class RetryingDht(Dht):
                 clock = getattr(inner, "clock", None) or EventScheduler()
         self._clock = clock
         self._rng = make_rng(derive_seed(seed, "retry-backoff"))
-        self.backoff_time = 0.0
-        # Share the inner stats object so every attempt is metered in
-        # one place and index layers keep reading the usual counters.
+        # Share the inner stats object (and tracer, when one is already
+        # attached) so every attempt is metered in one place and index
+        # layers keep reading the usual counters.
         self.stats = inner.stats
+        self.tracer = inner.tracer
 
     @property
     def inner(self) -> Dht:
         """The wrapped substrate."""
         return self._inner
+
+    @property
+    def backoff_time(self) -> float:
+        """Total simulated backoff wait, mirrored from the shared stats.
+
+        Lives on :class:`~repro.dht.api.DhtStats` (``backoff_time``) so
+        an experiment-phase ``stats.reset()`` clears it along with
+        every other counter instead of leaking across phases.
+        """
+        return self.stats.backoff_time
 
     @property
     def clock(self) -> EventScheduler:
@@ -133,8 +144,10 @@ class RetryingDht(Dht):
                 return False
         if delay > 0:
             self._clock.advance(delay)
-            self.backoff_time += delay
+            self.stats.backoff_time += delay
             self.stats.backoff_waits += 1
+            if self.tracer is not None:
+                self.tracer.event("backoff", delay=delay, attempt=attempt)
         return True
 
     def _with_retries(self, operation, *args, **kwargs):
@@ -150,6 +163,10 @@ class RetryingDht(Dht):
                 if not self._backoff(attempt, started):
                     break
                 self.stats.retries += 1
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "retry", attempt=attempt + 1, error=str(error)
+                    )
         assert last_error is not None
         raise last_error
 
@@ -183,13 +200,19 @@ class RetryingDht(Dht):
     # wire it is one.  Every attempt is metered per element, retried
     # elements included: a retry really does cost another DHT-lookup.
 
-    def _batch_with_retries(self, primitive, elements, meter):
+    def _batch_with_retries(self, op, primitive, elements, meter):
         """Per-element outcomes after retrying only the failed subset.
 
         Slots still failing when the attempt or deadline budget runs
         out keep their :class:`BatchFailure`; the caller decides
         whether to raise (``*_many``) or degrade
-        (``get_many_outcomes``)."""
+        (``get_many_outcomes``).
+
+        *op* names the primitive for tracing: this wrapper bypasses the
+        inner facade's public batch methods (to reach the per-element
+        ``_do_*_many`` outcomes), so it opens its own ``dht`` span per
+        attempt — each retried sub-batch is its own wire round and shows
+        up as its own span, matching the per-attempt metering."""
         started = self._clock.now
         outcomes: list[Any] = [None] * len(elements)
         pending = list(range(len(elements)))
@@ -199,8 +222,19 @@ class RetryingDht(Dht):
                     break
                 self.stats.retries += len(pending)
                 self.stats.batch_retries += len(pending)
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "retry", attempt=attempt, pending=len(pending)
+                    )
             meter(pending)
-            results = primitive([elements[slot] for slot in pending])
+            batch = [elements[slot] for slot in pending]
+            if self.tracer is None:
+                results = primitive(batch)
+            else:
+                with self.tracer.span(
+                    "dht", op, count=len(batch), attempt=attempt
+                ):
+                    results = primitive(batch)
             failed = []
             for slot, outcome in zip(pending, results):
                 outcomes[slot] = outcome
@@ -219,6 +253,7 @@ class RetryingDht(Dht):
         if not keys:
             return []
         return self._batch_with_retries(
+            "get_many",
             self._inner._do_get_many,
             keys,
             lambda pending: self.stats.meter_batch(
@@ -237,6 +272,7 @@ class RetryingDht(Dht):
             return
         moved = _check_records_moved(items, records_moved)
         _raise_batch_failures(self._batch_with_retries(
+            "put_many",
             self._inner._do_put_many,
             items,
             lambda pending: self.stats.meter_batch(
@@ -251,6 +287,7 @@ class RetryingDht(Dht):
         if not keys:
             return []
         return _raise_batch_failures(self._batch_with_retries(
+            "lookup_many",
             self._inner._do_lookup_many,
             keys,
             lambda pending: self.stats.meter_batch(len(pending)),

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.common.errors import NodeUnreachableError
 from repro.common.rng import make_rng
@@ -25,6 +25,9 @@ from repro.net.events import EventScheduler
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message
 from repro.net.stats import NetworkStats
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 
 class RpcError(NodeUnreachableError):
@@ -97,6 +100,9 @@ class SimNetwork:
         self.stats = NetworkStats()
         self.clock = EventScheduler()
         self._round: MessageRound | None = None
+        # Set by Tracer.attach when the owning index traces; None keeps
+        # the transport on the exact pre-tracing code path.
+        self.tracer: "Tracer | None" = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -160,12 +166,18 @@ class SimNetwork:
         self.stats.record_rpc()
         if dst not in self._handlers:
             self.stats.record_drop()
+            if self.tracer is not None:
+                self.tracer.event("rpc_drop", dst=dst, reason="dead")
             raise RpcError(f"peer {dst!r} is not reachable (dead or unknown)")
         if self._partitioned(src, dst):
             self.stats.record_drop()
+            if self.tracer is not None:
+                self.tracer.event("rpc_drop", dst=dst, reason="partition")
             raise RpcError(f"peers {src!r} and {dst!r} are partitioned")
         if self._drop_probability and self._rng.random() < self._drop_probability:
             self.stats.record_drop()
+            if self.tracer is not None:
+                self.tracer.event("rpc_drop", dst=dst, reason="drop")
             raise RpcError(f"message {src!r} -> {dst!r} dropped")
 
         request = Message(src, dst, method, (args, kwargs), size_bytes)
@@ -199,12 +211,24 @@ class SimNetwork:
             return
         round_ = MessageRound()
         self._round = round_
-        try:
-            yield round_
-        finally:
-            self._round = None
-            self.clock.advance(round_.critical_path)
-            self.stats.record_round(round_.fanout, round_.critical_path)
+        tracer = self.tracer
+        if tracer is None:
+            try:
+                yield round_
+            finally:
+                self._round = None
+                self.clock.advance(round_.critical_path)
+                self.stats.record_round(round_.fanout, round_.critical_path)
+            return
+        with tracer.span("net", "message_round") as span:
+            try:
+                yield round_
+            finally:
+                self._round = None
+                self.clock.advance(round_.critical_path)
+                self.stats.record_round(round_.fanout, round_.critical_path)
+                span.attrs["fanout"] = round_.fanout
+                span.attrs["critical_path"] = round_.critical_path
 
     def broadcast_round(
         self,

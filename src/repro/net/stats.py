@@ -10,7 +10,7 @@ validated (e.g. Chord's O(log N) hops).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import MISSING, dataclass, field, fields
 
 
 @dataclass(slots=True)
@@ -60,26 +60,26 @@ class NetworkStats:
         return self.round_messages / self.rounds
 
     def snapshot(self) -> dict[str, float]:
-        """Return an immutable copy of the headline counters."""
+        """Return an immutable copy of the headline counters.
+
+        Derived from the dataclass fields (``per_type`` excepted — the
+        breakdown is reachable directly), so a counter added to this
+        class is snapshotted, and reset, by construction.
+        """
         return {
-            "messages": self.messages,
-            "bytes_sent": self.bytes_sent,
-            "dropped": self.dropped,
-            "rpc_calls": self.rpc_calls,
-            "rounds": self.rounds,
-            "round_messages": self.round_messages,
-            "max_round_fanout": self.max_round_fanout,
-            "critical_path_latency": self.critical_path_latency,
+            spec.name: getattr(self, spec.name)
+            for spec in fields(self)
+            if spec.default is not MISSING
         }
 
     def reset(self) -> None:
-        """Zero every counter (between experiment phases)."""
-        self.messages = 0
-        self.bytes_sent = 0
-        self.dropped = 0
-        self.rpc_calls = 0
-        self.rounds = 0
-        self.round_messages = 0
-        self.max_round_fanout = 0
-        self.critical_path_latency = 0.0
-        self.per_type.clear()
+        """Zero every counter (between experiment phases).
+
+        Covers exactly the :meth:`snapshot` keyset plus ``per_type``,
+        by construction.
+        """
+        for spec in fields(self):
+            if spec.default is not MISSING:
+                setattr(self, spec.name, spec.default)
+            else:
+                getattr(self, spec.name).clear()

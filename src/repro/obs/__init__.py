@@ -1,0 +1,33 @@
+"""The observability plane: tracing, metrics registry, profiling.
+
+Three pieces, designed to be zero-cost when unused:
+
+* :mod:`repro.obs.trace` — hierarchical spans (query → plane round →
+  DHT primitive → network message) with retry/backoff/fault/cache
+  annotations, exported to JSONL;
+* :mod:`repro.obs.registry` — one labeled ``snapshot()``/``reset()``
+  surface over :class:`~repro.dht.api.DhtStats`,
+  :class:`~repro.net.stats.NetworkStats`, cache gauges and native
+  counters/histograms;
+* :mod:`repro.obs.profile` — per-span self-time and top-N reports.
+
+Enable per index with ``IndexConfig(tracing=True)`` or by passing a
+:class:`Tracer` to :class:`~repro.core.index.MLightIndex` directly.
+"""
+
+from repro.obs.profile import profile_report, span_timings, top_spans
+from repro.obs.registry import Counter, Histogram, MetricsRegistry
+from repro.obs.trace import JsonlTraceSink, Span, TraceSink, Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "JsonlTraceSink",
+    "MetricsRegistry",
+    "Span",
+    "TraceSink",
+    "Tracer",
+    "profile_report",
+    "span_timings",
+    "top_spans",
+]

@@ -1,0 +1,139 @@
+"""Profiling views over finished trace spans.
+
+The tracer records *what happened*; this module answers *where the
+time went*: per-span self time (wall and simulated), top-N hot spans,
+and per-(kind, name) aggregates.  Everything operates on plain
+:class:`~repro.obs.trace.Span` lists so it works equally on a live
+tracer's ``spans`` and on spans re-loaded from JSONL by
+``repro.experiments.trace_report``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.obs.trace import Span
+
+__all__ = [
+    "SpanTiming",
+    "aggregate_spans",
+    "profile_report",
+    "span_timings",
+    "top_spans",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SpanTiming:
+    """One span's total and self time (children's time subtracted)."""
+
+    span: Span
+    wall_total: float
+    wall_self: float
+    sim_total: float | None
+    sim_self: float | None
+
+
+def span_timings(spans: Sequence[Span]) -> list[SpanTiming]:
+    """Total and self durations for every finished span.
+
+    Self time is total minus the direct children's totals — the time a
+    span spent in its own level of the hierarchy (e.g. a round span's
+    self time is dispatch overhead around its DHT primitives).
+    """
+    child_wall: dict[int, float] = defaultdict(float)
+    child_sim: dict[int, float] = defaultdict(float)
+    for span in spans:
+        if span.parent_id is None:
+            continue
+        child_wall[span.parent_id] += span.wall_duration
+        if span.sim_duration is not None:
+            child_sim[span.parent_id] += span.sim_duration
+    timings = []
+    for span in spans:
+        wall_total = span.wall_duration
+        sim_total = span.sim_duration
+        timings.append(
+            SpanTiming(
+                span=span,
+                wall_total=wall_total,
+                wall_self=max(0.0, wall_total - child_wall[span.span_id]),
+                sim_total=sim_total,
+                sim_self=(
+                    None
+                    if sim_total is None
+                    else max(0.0, sim_total - child_sim[span.span_id])
+                ),
+            )
+        )
+    return timings
+
+
+def top_spans(spans: Sequence[Span], n: int = 10) -> list[SpanTiming]:
+    """The *n* spans with the largest wall self time, descending."""
+    timings = span_timings(spans)
+    timings.sort(key=lambda t: t.wall_self, reverse=True)
+    return timings[:n]
+
+
+def aggregate_spans(
+    spans: Sequence[Span],
+) -> dict[tuple[str, str], dict[str, float]]:
+    """Per-(kind, name) aggregate: count, total/mean/max wall seconds."""
+    grouped: dict[tuple[str, str], list[float]] = defaultdict(list)
+    for span in spans:
+        grouped[(span.kind, span.name)].append(span.wall_duration)
+    return {
+        key: {
+            "count": len(durations),
+            "wall_total": sum(durations),
+            "wall_mean": sum(durations) / len(durations),
+            "wall_max": max(durations),
+        }
+        for key, durations in grouped.items()
+    }
+
+
+def profile_report(spans: Sequence[Span], n: int = 10) -> str:
+    """Human-readable profile: top-N self-time spans plus aggregates."""
+    if not spans:
+        return "no spans recorded"
+    lines = [f"Top {n} spans by wall self time"]
+    header = (
+        f"{'kind':<7} {'name':<18} {'self ms':>9} {'total ms':>9} "
+        f"{'sim':>8}  attrs"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for timing in top_spans(spans, n):
+        span = timing.span
+        sim = "-" if timing.sim_total is None else f"{timing.sim_total:.2f}"
+        attrs = ", ".join(
+            f"{key}={value}" for key, value in sorted(span.attrs.items())
+        )
+        lines.append(
+            f"{span.kind:<7} {span.name:<18} "
+            f"{timing.wall_self * 1e3:>9.3f} {timing.wall_total * 1e3:>9.3f} "
+            f"{sim:>8}  {attrs[:48]}"
+        )
+    lines.append("")
+    lines.append("Aggregate by span type")
+    agg_header = (
+        f"{'kind':<7} {'name':<18} {'count':>6} {'total ms':>9} "
+        f"{'mean ms':>9} {'max ms':>9}"
+    )
+    lines.append(agg_header)
+    lines.append("-" * len(agg_header))
+    aggregates = aggregate_spans(spans)
+    for (kind, name), stats in sorted(
+        aggregates.items(), key=lambda item: -item[1]["wall_total"]
+    ):
+        lines.append(
+            f"{kind:<7} {name:<18} {stats['count']:>6.0f} "
+            f"{stats['wall_total'] * 1e3:>9.3f} "
+            f"{stats['wall_mean'] * 1e3:>9.3f} "
+            f"{stats['wall_max'] * 1e3:>9.3f}"
+        )
+    return "\n".join(lines)
