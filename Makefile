@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-faults trace-smoke bench bench-smoke bench-hotpath bench-full experiments experiments-full clean
+.PHONY: install lint test test-faults trace-smoke bench bench-smoke bench-hotpath bench-full bench-service experiments experiments-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -32,6 +32,10 @@ bench-hotpath:
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-service:
+	$(PYTHON) -m pytest benchmarks/test_service_load.py -m smoke
+	$(PYTHON) -m pytest tests/test_service.py tests/test_service_equivalence.py
 
 experiments:
 	$(PYTHON) -m repro.experiments.run_all --charts

@@ -1,0 +1,92 @@
+"""Service-plane load benchmark: the `make bench-service` smoke gate.
+
+Drives the open-loop load generator against the asyncio runtime at a
+small scale and publishes ``results/BENCH_service_load.json``.  The CI
+gate is deliberately loose — achieved throughput must reach at least
+half the target — because its job is to catch the runtime falling over
+(a stuck event loop, a deadlocked inbox), not to benchmark the host.
+The full-scale acceptance run (100k records, 8 peers, 500 QPS for
+10 s) is the command-line module itself; see docs/usage.md.
+"""
+
+import json
+
+import pytest
+
+from repro.service.loadgen import (
+    REPORT_NAME,
+    build_loaded_index,
+    publish,
+    run_load,
+)
+from repro.workloads.traces import request_trace
+
+from .conftest import RESULTS_DIR
+
+TARGET_QPS = 200.0
+DURATION_S = 3.0
+#: The CI sanity gate: achieved QPS must be at least this fraction of
+#: the target, or the service runtime is considered broken.
+MIN_ACHIEVED_FRACTION = 0.5
+
+
+@pytest.fixture(scope="module")
+def load_report():
+    index, points = build_loaded_index(
+        "asyncio", n_peers=4, n_records=5_000, seed=11
+    )
+    try:
+        operations = request_trace(
+            points, round(TARGET_QPS * DURATION_S), seed=11
+        )
+        report = run_load(
+            index,
+            operations,
+            TARGET_QPS,
+            runtime_label="asyncio",
+            records_loaded=len(points),
+            n_peers=4,
+        )
+    finally:
+        index.dht.close()
+    path = publish(report)
+    print(f"\n{report.render()}\nwrote {path}")
+    return report
+
+
+@pytest.mark.smoke
+def test_achieved_qps_meets_the_gate(load_report):
+    assert load_report.achieved_fraction() >= MIN_ACHIEVED_FRACTION, (
+        f"service runtime achieved {load_report.achieved_qps:.1f} QPS "
+        f"of a {load_report.target_qps:.0f} QPS target "
+        f"({load_report.achieved_fraction():.0%}); the gate is "
+        f"{MIN_ACHIEVED_FRACTION:.0%}"
+    )
+
+
+@pytest.mark.smoke
+def test_operations_actually_completed(load_report):
+    """A run that met the rate by failing everything is no pass."""
+    assert load_report.completed > 0
+    assert load_report.failed == 0
+    assert load_report.completed + load_report.failed == (
+        load_report.operations
+    )
+
+
+@pytest.mark.smoke
+def test_report_artifact_is_published(load_report):
+    path = RESULTS_DIR / REPORT_NAME
+    assert path.exists()
+    payload = json.loads(path.read_text())
+    assert payload["runtime"] == "asyncio"
+    assert payload["achieved_qps"] == pytest.approx(
+        load_report.achieved_qps
+    )
+    for key in ("p50", "p95", "p99", "mean", "max"):
+        assert payload["latency_ms"][key] >= 0.0
+    assert (
+        payload["latency_ms"]["p50"]
+        <= payload["latency_ms"]["p95"]
+        <= payload["latency_ms"]["p99"]
+    )

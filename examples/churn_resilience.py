@@ -13,7 +13,7 @@ Run with::
     python examples/churn_resilience.py
 """
 
-from repro import ChordDht, IndexConfig, MLightIndex, Region
+from repro import IndexConfig, MLightIndex, Region, RuntimeConfig, create_dht
 from repro.dht.churn import run_churn
 from repro.datasets.northeast import northeast_surrogate
 
@@ -22,7 +22,10 @@ def main() -> None:
     config = IndexConfig(dims=2, max_depth=18, split_threshold=25,
                          merge_threshold=12)
     print("building a 24-peer Chord ring (replication 2)...")
-    dht = ChordDht.build(24, replication=2)
+    dht = create_dht(
+        RuntimeConfig(kind="sim", overlay="chord", n_peers=24,
+                      replication=2)
+    )
     index = MLightIndex(dht, config)
 
     points = northeast_surrogate(1_500, seed=7)

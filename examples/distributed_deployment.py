@@ -13,7 +13,7 @@ Run with::
     python examples/distributed_deployment.py
 """
 
-from repro import ChordDht, IndexConfig, MLightIndex, Region
+from repro import IndexConfig, MLightIndex, Region, RuntimeConfig, create_dht
 from repro.core.distributed import DistributedQueryRuntime
 from repro.datasets.northeast import northeast_surrogate
 
@@ -22,7 +22,7 @@ def main() -> None:
     config = IndexConfig(dims=2, max_depth=18, split_threshold=25,
                          merge_threshold=12)
     print("building a 16-peer Chord ring and indexing 3,000 addresses...")
-    dht = ChordDht.build(16)
+    dht = create_dht(RuntimeConfig(kind="sim", overlay="chord", n_peers=16))
     index = MLightIndex(dht, config)
     for position, point in enumerate(northeast_surrogate(3000, seed=13)):
         index.insert(point, value=position)

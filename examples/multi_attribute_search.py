@@ -12,7 +12,7 @@ Run with::
     python examples/multi_attribute_search.py
 """
 
-from repro import IndexConfig, LocalDht, MLightIndex, Region
+from repro import IndexConfig, MLightIndex, Region, create_dht
 from repro.common.rng import make_rng
 from repro.datasets.synthetic import clamp_unit
 
@@ -51,7 +51,7 @@ def make_catalogue(n: int, seed: int = 42):
 def main() -> None:
     config = IndexConfig(dims=3, max_depth=21, split_threshold=40,
                          merge_threshold=20)
-    index = MLightIndex(LocalDht(n_peers=128), config)
+    index = MLightIndex(create_dht(n_peers=128), config)
 
     songs = make_catalogue(15_000)
     for name, rating, year, tempo in songs:

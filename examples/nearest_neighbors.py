@@ -12,7 +12,7 @@ Run with::
 
 import sys
 
-from repro import IndexConfig, LocalDht, MLightIndex, bulk_load
+from repro import IndexConfig, MLightIndex, bulk_load, create_dht
 from repro.core.split import DataAwareSplit
 from repro.datasets.northeast import northeast_surrogate
 
@@ -25,7 +25,7 @@ def main() -> None:
     print(f"bulk-loading {n_points} addresses "
           "(data-aware static construction)...")
     points = northeast_surrogate(n_points)
-    dht = LocalDht(n_peers=128)
+    dht = create_dht(n_peers=128)
     placed = bulk_load(
         dht,
         [(point, f"address-{i}") for i, point in enumerate(points)],

@@ -5,15 +5,15 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import IndexConfig, LocalDht, MLightIndex, Region
+from repro import IndexConfig, MLightIndex, Region, create_dht
 
 
 def main() -> None:
     # An over-DHT index needs only a DHT exposing put/get/lookup; the
-    # LocalDht simulates 128 peers with consistent hashing.
+    # default runtime simulates 128 peers with consistent hashing.
     config = IndexConfig(dims=2, max_depth=20, split_threshold=8,
                          merge_threshold=4)
-    index = MLightIndex(LocalDht(n_peers=128), config)
+    index = MLightIndex(create_dht(n_peers=128), config)
 
     # Insert a handful of 2-D records: (key, value).
     songs = [

@@ -13,12 +13,12 @@ Run with::
 import sys
 from dataclasses import replace
 
-from repro import IndexConfig, LocalDht, MLightIndex, Region
+from repro import IndexConfig, MLightIndex, Region, RuntimeConfig, create_dht
 from repro.datasets.northeast import northeast_surrogate
 from repro.metrics.loadbalance import empty_bucket_fraction
 
 def build(strategy: str, points, config: IndexConfig) -> MLightIndex:
-    dht = LocalDht(n_peers=128, virtual_nodes=16)
+    dht = create_dht(RuntimeConfig(n_peers=128, virtual_nodes=16))
     index = MLightIndex(dht, replace(config, strategy=strategy))
     for position, point in enumerate(points):
         index.insert(point, value=f"address-{position}")

@@ -9,14 +9,24 @@ figure of the paper's evaluation.
 
 Quickstart::
 
-    from repro import LocalDht, MLightIndex, IndexConfig, Region
+    from repro import MLightIndex, IndexConfig, Region, create_dht
 
-    index = MLightIndex(LocalDht(n_peers=128), IndexConfig(dims=2))
+    index = MLightIndex(create_dht(n_peers=128), IndexConfig(dims=2))
     index.insert((0.31, 0.62), value="point-a")
     index.insert((0.35, 0.60), value="point-b")
     result = index.range_query(Region((0.3, 0.6), (0.4, 0.7)))
     print([record.value for record in result.records])
+
+Substrates are constructed through the runtime-neutral factory
+(:func:`repro.runtime.create_dht` with a
+:class:`~repro.runtime.RuntimeConfig`): one surface selects the
+simulated substrates *and* the asyncio/TCP service runtime.  The old
+per-overlay constructor aliases (``repro.LocalDht`` & co.) still
+resolve, with a :class:`DeprecationWarning`; import them from their
+defining modules (or use the factory) instead.
 """
+
+import warnings
 
 from repro.common.config import IndexConfig
 from repro.common.errors import ReproError
@@ -32,10 +42,6 @@ from repro.core.results import (
     RangeQueryResult,
 )
 from repro.core.split import DataAwareSplit, ThresholdSplit
-from repro.dht.chord import ChordDht
-from repro.dht.kademlia import KademliaDht
-from repro.dht.localhash import LocalDht
-from repro.dht.pastry import PastryDht
 from repro.obs import (
     JsonlTraceSink,
     MetricsRegistry,
@@ -44,8 +50,38 @@ from repro.obs import (
     Tracer,
     profile_report,
 )
+from repro.runtime import RuntimeConfig, create_dht
+from repro.service.node import ServiceDht
 
-__version__ = "1.0.0"
+#: Deprecated top-level aliases -> (module, attribute).  Resolved
+#: lazily so importing :mod:`repro` stops endorsing scattered
+#: per-overlay construction; `create_dht` is the supported surface.
+_DEPRECATED_ALIASES = {
+    "LocalDht": ("repro.dht.localhash", "LocalDht"),
+    "ChordDht": ("repro.dht.chord", "ChordDht"),
+    "KademliaDht": ("repro.dht.kademlia", "KademliaDht"),
+    "PastryDht": ("repro.dht.pastry", "PastryDht"),
+}
+
+
+def __getattr__(name: str):
+    target = _DEPRECATED_ALIASES.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, attribute = target
+    warnings.warn(
+        f"importing {name} from the repro top level is deprecated; "
+        f"build substrates with repro.create_dht(RuntimeConfig(...)) or "
+        f"import {name} from {module_name}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+__version__ = "1.1.0"
 
 __all__ = [
     "IndexConfig",
@@ -64,6 +100,9 @@ __all__ = [
     "RangeQueryResult",
     "DataAwareSplit",
     "ThresholdSplit",
+    "RuntimeConfig",
+    "create_dht",
+    "ServiceDht",
     "ChordDht",
     "KademliaDht",
     "LocalDht",

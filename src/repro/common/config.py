@@ -7,9 +7,9 @@ values as defaults, so an experiment is fully described by one
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
-from repro.common.errors import ReproError
+from repro.common.errors import ReproError, UnknownRuntimeError
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,6 +48,15 @@ class IndexConfig:
             parallel DHT round) or ``"sequential"`` (one ``get`` per
             probe, the reference semantics).  Answers and lookup meters
             are identical either way.
+        runtime: which runtime plane the experiment's DHT should be
+            created on by :func:`repro.runtime.create_dht` —
+            ``"sim"`` (the single-threaded simulated substrates, the
+            reference semantics), ``"asyncio"`` (each peer an
+            independent asyncio actor behind the framed wire protocol)
+            or ``"tcp"`` (asyncio actors behind real loopback
+            sockets).  Query answers and index-level cost meters are
+            identical across runtimes; only clocks differ (simulated
+            rounds vs wall-clock spans).
         tracing: when True the index builds a
             :class:`~repro.obs.trace.Tracer` and threads it through the
             engines, planes, DHT stack and simulated network, so every
@@ -67,10 +76,12 @@ class IndexConfig:
     cache_capacity: int = 0
     default_lookahead: int = 1
     execution: str = "batched"
+    runtime: str = "sim"
     tracing: bool = False
 
     STRATEGIES = ("threshold", "data-aware")
     EXECUTION_PLANES = ("batched", "sequential")
+    RUNTIMES = ("sim", "asyncio", "tcp")
 
     def __post_init__(self) -> None:
         if self.dims < 1:
@@ -109,3 +120,20 @@ class IndexConfig:
                 f"unknown execution plane {self.execution!r}; expected "
                 f"one of {self.EXECUTION_PLANES}"
             )
+        if self.runtime not in self.RUNTIMES:
+            raise UnknownRuntimeError(
+                f"unknown runtime {self.runtime!r}; expected one of "
+                f"{self.RUNTIMES}"
+            )
+
+    def __repr__(self) -> str:
+        """Every field, in declaration order, derived from the
+        dataclass machinery — the one authoritative listing of the
+        config surface (a field added above appears here, in
+        :meth:`snapshot`-style docs and in ``repr`` output by
+        construction, so the three can never drift apart)."""
+        body = ", ".join(
+            f"{spec.name}={getattr(self, spec.name)!r}"
+            for spec in fields(self)
+        )
+        return f"{type(self).__name__}({body})"

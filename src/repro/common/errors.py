@@ -23,6 +23,17 @@ class InvalidRegionError(ReproError, ValueError):
     """A query region is degenerate or outside the unit hypercube."""
 
 
+class UnknownRuntimeError(ReproError, ValueError):
+    """A runtime kind or overlay name is not in the runtime registry.
+
+    Raised by :func:`repro.runtime.create_dht` and by
+    :class:`~repro.common.config.IndexConfig` validation of the
+    ``runtime=`` field.  Subclasses :class:`ValueError` because the
+    offending name is a plain bad value, catchable without importing
+    the library's hierarchy.
+    """
+
+
 class IndexCorruptionError(ReproError, RuntimeError):
     """The distributed index reached a state that violates an invariant.
 

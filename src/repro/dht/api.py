@@ -17,6 +17,7 @@ split (Theorem 5): the surviving child keeps the dead bucket's key.
 
 from __future__ import annotations
 
+import atexit
 import os
 from abc import ABC, abstractmethod
 from collections.abc import Iterator, Sequence
@@ -74,6 +75,25 @@ def shared_executor() -> ThreadPoolExecutor:
             thread_name_prefix="repro-batch",
         )
     return _shared_executor
+
+
+def shutdown_shared_executor(wait: bool = True) -> None:
+    """Tear down the process-wide batch executor (idempotent).
+
+    Registered with :mod:`atexit` so interpreter shutdown — pytest runs
+    in particular, which may also own service-runtime event loops —
+    never races the pool's worker threads against module teardown.  A
+    later :func:`shared_executor` call after an explicit shutdown
+    simply builds a fresh pool.
+    """
+    global _shared_executor
+    executor = _shared_executor
+    _shared_executor = None
+    if executor is not None:
+        executor.shutdown(wait=wait, cancel_futures=True)
+
+
+atexit.register(shutdown_shared_executor)
 
 
 @dataclass(slots=True)

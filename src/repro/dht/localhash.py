@@ -12,13 +12,12 @@ the index-level counters are identical across substrates.
 
 from __future__ import annotations
 
-import bisect
 from collections.abc import Iterator, Sequence
 from typing import Any
 
 from repro.common.errors import DhtKeyError, ReproError
 from repro.dht.api import Dht, _capture, shared_executor
-from repro.dht.hashing import key_digest, node_id_from_name
+from repro.dht.peer import HashRing
 from repro.dht.storage import PeerStore
 
 #: Below this batch size the executor's dispatch overhead outweighs any
@@ -37,20 +36,12 @@ class LocalDht(Dht):
         super().__init__()
         if n_peers < 1:
             raise ReproError(f"n_peers must be >= 1, got {n_peers}")
-        if virtual_nodes < 1:
-            raise ReproError(
-                f"virtual_nodes must be >= 1, got {virtual_nodes}"
-            )
-        self._peer_names = [f"peer-{index:04d}" for index in range(n_peers)]
-        ids = sorted(
-            (node_id_from_name(f"{name}#{vnode}"), name)
-            for name in self._peer_names
-            for vnode in range(virtual_nodes)
+        self._ring = HashRing(
+            [f"peer-{index:04d}" for index in range(n_peers)],
+            virtual_nodes,
         )
-        self._ring_ids = [ident for ident, _ in ids]
-        self._ring_names = [name for _, name in ids]
         self._stores: dict[str, PeerStore] = {
-            name: PeerStore() for name in self._peer_names
+            name: PeerStore() for name in self._ring.peers()
         }
 
     # ------------------------------------------------------------------
@@ -59,14 +50,10 @@ class LocalDht(Dht):
 
     def peer_of(self, key: str) -> str:
         """Successor-style owner of *key* on the hash ring."""
-        digest = key_digest(key)
-        index = bisect.bisect_left(self._ring_ids, digest)
-        if index == len(self._ring_ids):
-            index = 0
-        return self._ring_names[index]
+        return self._ring.peer_of(key)
 
     def peers(self) -> list[str]:
-        return list(self._peer_names)
+        return self._ring.peers()
 
     def items(self) -> Iterator[tuple[str, Any]]:
         for store in self._stores.values():

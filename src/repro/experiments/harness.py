@@ -20,7 +20,7 @@ from repro.baselines.dst import DstIndex
 from repro.baselines.naive import NaiveTreeIndex
 from repro.baselines.pht import PhtIndex
 from repro.dht.api import Dht
-from repro.dht.localhash import LocalDht
+from repro.runtime import RuntimeConfig, create_dht
 
 #: Peers in the simulated substrate (the paper runs "more than one
 #: hundred logical peers").
@@ -34,15 +34,25 @@ def build_index(
     config: IndexConfig,
     dht: Dht | None = None,
     n_peers: int = DEFAULT_PEERS,
+    runtime: RuntimeConfig | None = None,
 ):
-    """Construct one index instance of *scheme* on a fresh LocalDht.
+    """Construct one index instance of *scheme* on a fresh substrate.
 
     Schemes: ``mlight`` (threshold splitting), ``mlight-da``
     (data-aware splitting), ``pht``, ``dst``, ``naive`` (identity
     mapping ablation).
+
+    The substrate comes from :func:`repro.runtime.create_dht`: by
+    default the runtime kind named by ``config.runtime`` (``"sim"``
+    unless an experiment opts into the service plane) with *n_peers*
+    peers; pass *runtime* for full control, or *dht* to reuse an
+    existing substrate.  Service substrates are the caller's to
+    ``close()``.
     """
     if dht is None:
-        dht = LocalDht(n_peers)
+        if runtime is None:
+            runtime = RuntimeConfig(kind=config.runtime, n_peers=n_peers)
+        dht = create_dht(runtime)
     if scheme == "mlight":
         return MLightIndex(dht, config)
     if scheme == "mlight-da":

@@ -25,6 +25,7 @@ class NetworkStats:
     round_messages: int = 0
     max_round_fanout: int = 0
     critical_path_latency: float = 0.0
+    wall_seconds: float = 0.0
     per_type: dict[str, int] = field(default_factory=dict)
 
     def record_message(self, msg_type: str, size_bytes: int) -> None:
@@ -52,6 +53,33 @@ class NetworkStats:
         self.round_messages += fanout
         self.max_round_fanout = max(self.max_round_fanout, fanout)
         self.critical_path_latency += latency
+
+    def record_wall_span(self, seconds: float) -> None:
+        """Account real elapsed time spent serving requests.
+
+        The service runtime (:mod:`repro.service`) drives this instead
+        of a latency model: each request/round contributes the
+        wall-clock span between issuing the frame and decoding its
+        reply.  ``critical_path_latency`` stays the *simulated* clock's
+        measure; keeping the two in separate fields is what lets
+        :meth:`latency_clock` reconcile them instead of silently mixing
+        units.
+        """
+        self.wall_seconds += seconds
+
+    def latency_clock(self) -> tuple[str, float]:
+        """The clock this network's latency actually ran on.
+
+        Returns ``("wall", seconds)`` when wall-clock spans were
+        recorded (the service runtime), else ``("simulated", time)``
+        from the round critical paths (the simulated runtime).  One
+        reporting surface for experiments that compare runtimes: the
+        label says which units the number carries, so a table can never
+        present simulated rounds as real seconds or vice versa.
+        """
+        if self.wall_seconds > 0.0:
+            return ("wall", self.wall_seconds)
+        return ("simulated", self.critical_path_latency)
 
     def mean_round_fanout(self) -> float:
         """Average chains per message round (0.0 before any round)."""

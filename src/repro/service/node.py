@@ -1,0 +1,499 @@
+"""The asyncio service runtime: every peer an independent actor.
+
+Where :class:`~repro.net.simnet.SimNetwork` runs all peers in one
+thread of control under a virtual clock, this runtime gives each peer
+its own asyncio task draining an inbox of wire frames — real
+concurrency under a real clock — and optionally a real TCP listener
+(``transport="tcp"``) so the frames cross actual loopback sockets.
+
+The whole thing hides behind the standard :class:`~repro.dht.api.Dht`
+facade: the index layers, both execution planes, the retry/fault
+wrappers and the tracer attach unchanged.  The facade's synchronous
+``_do_*`` primitives bridge into a dedicated event-loop thread, so any
+number of caller threads (the load generator's workers, say) issue
+requests concurrently and the actors interleave them per-frame.
+
+Placement is runtime-neutral consistent hashing
+(:class:`~repro.dht.peer.HashRing` — successor-on-ring, the ownership
+rule Chord applies to live node identifiers).  Routed overlay
+*protocols* remain a simulated-runtime concern; what this runtime
+reproduces is the service boundary: wire format, per-peer concurrency,
+and wall-clock latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from collections.abc import Iterator, Sequence
+from typing import TYPE_CHECKING, Any
+
+from repro.common.errors import NodeUnreachableError, ReproError
+from repro.dht.api import BatchFailure, Dht
+from repro.dht.peer import HashRing, KeyValuePeer
+from repro.net.stats import NetworkStats
+from repro.service.wire import (
+    Frame,
+    FrameDecoder,
+    Op,
+    decode_frame,
+    encode_error,
+    encode_reply,
+    encode_request,
+    frame_wire_cost,
+    rebuild_error,
+)
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
+
+#: Dht primitive name per request opcode (KeyValuePeer.serve dispatch).
+_OP_NAMES = {
+    Op.LOOKUP: "lookup",
+    Op.GET: "get",
+    Op.PUT: "put",
+    Op.REMOVE: "remove",
+    Op.CONTAINS: "contains",
+}
+
+TRANSPORTS = ("asyncio", "tcp")
+
+_READ_CHUNK = 64 * 1024
+
+
+class WallClock:
+    """Real time behind the simulated clock's ``now``/``advance`` shape.
+
+    ``now`` is seconds since the runtime started; ``advance`` — what a
+    backoff wrapper calls to wait — actually sleeps, because on this
+    runtime waiting costs wall time instead of virtual time.
+    """
+
+    __slots__ = ("_t0",)
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+
+    @property
+    def now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def advance(self, delay: float) -> None:
+        if delay > 0:
+            time.sleep(delay)
+
+
+class ServiceTransport:
+    """What the service runtime exposes where a ``SimNetwork`` would be.
+
+    Ducks the attributes the rest of the stack reaches for on
+    ``dht.network`` — ``stats`` (a :class:`NetworkStats` fed wall-clock
+    spans and modelled frame bytes), ``clock`` (a :class:`WallClock`)
+    and ``tracer`` — so :meth:`repro.obs.trace.Tracer.attach`,
+    :class:`~repro.obs.registry.MetricsRegistry` and
+    :class:`~repro.dht.retry.RetryingDht` wire up without knowing which
+    runtime they landed on.
+    """
+
+    __slots__ = ("stats", "clock", "tracer")
+
+    def __init__(self) -> None:
+        self.stats = NetworkStats()
+        self.clock = WallClock()
+        self.tracer: "Tracer | None" = None
+
+
+def serve_request(peer: KeyValuePeer, frame: Frame) -> bytes:
+    """Execute one request frame against *peer*; returns the reply frame.
+
+    Every failure — protocol or storage — becomes a ``REPLY_ERR``
+    frame: a service peer answers, it never lets an exception escape
+    into its serving task or connection handler.
+    """
+    try:
+        op_name = _OP_NAMES.get(frame.op)
+        if op_name is None:
+            raise ReproError(f"frame opcode {frame.op!r} is not a request")
+        key, value = frame.body
+        return encode_reply(frame.request_id, peer.serve(op_name, key, value))
+    except Exception as exc:
+        return encode_error(frame.request_id, exc)
+
+
+class _ActorNode:
+    """One service peer: storage, an inbox task, optionally a listener.
+
+    Constructed inside the runtime's event loop.  The inbox carries
+    ``(frame_bytes, reply_future)`` pairs — the in-process equivalent
+    of a datagram transport — while the TCP listener speaks the same
+    frames over real sockets, one connection handler per client.
+    """
+
+    def __init__(self, peer: KeyValuePeer) -> None:
+        self.peer = peer
+        self.inbox: asyncio.Queue = asyncio.Queue()
+        self.task = asyncio.create_task(
+            self._serve(), name=f"repro-node-{peer.name}"
+        )
+        self.server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+
+    async def start_listener(self) -> None:
+        self.server = await asyncio.start_server(
+            self._handle_connection, host="127.0.0.1", port=0
+        )
+        self.port = self.server.sockets[0].getsockname()[1]
+
+    async def call(self, frame_bytes: bytes) -> Frame:
+        """In-process transport: enqueue a frame, await its reply."""
+        if self.task.done():
+            raise NodeUnreachableError(
+                f"service peer {self.peer.name!r} has shut down"
+            )
+        future = asyncio.get_running_loop().create_future()
+        self.inbox.put_nowait((frame_bytes, future))
+        return decode_frame(await future)
+
+    async def _serve(self) -> None:
+        while True:
+            item = await self.inbox.get()
+            if item is None:
+                break
+            frame_bytes, future = item
+            try:
+                reply = serve_request(self.peer, decode_frame(frame_bytes))
+            except Exception as exc:  # undecodable request frame
+                reply = encode_error(0, exc)
+            if not future.done():
+                future.set_result(reply)
+
+    async def _handle_connection(self, reader, writer) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                for frame in decoder.feed(data):
+                    writer.write(serve_request(self.peer, frame))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    async def stop(self) -> None:
+        self.inbox.put_nowait(None)
+        await self.task
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+
+
+class _TcpChannel:
+    """Client side of one node's TCP listener.
+
+    Writes request frames down one connection and demultiplexes replies
+    by request id, so concurrent requests to the same peer share the
+    socket instead of a connection storm.
+    """
+
+    def __init__(self) -> None:
+        self._reader = None
+        self._writer = None
+        self._reader_task: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+
+    async def connect(self, port: int) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            "127.0.0.1", port
+        )
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def call(self, frame_bytes: bytes, request_id: int) -> Frame:
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(frame_bytes)
+        await self._writer.drain()
+        return await future
+
+    async def _read_loop(self) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await self._reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                for frame in decoder.feed(data):
+                    future = self._pending.pop(frame.request_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(frame)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            error = NodeUnreachableError("service connection closed")
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._pending.clear()
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if self._reader_task is not None:
+            await self._reader_task
+
+
+class _LoopThread:
+    """A dedicated event-loop thread plus a sync bridge into it."""
+
+    def __init__(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._main, daemon=True, name="repro-service-loop"
+        )
+        self._thread.start()
+
+    def _main(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        try:
+            self.loop.run_forever()
+        finally:
+            self.loop.close()
+
+    def run(self, coro) -> Any:
+        """Run *coro* on the loop from any caller thread, blocking."""
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result()
+
+    def stop(self) -> None:
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=5)
+
+
+class ServiceDht(Dht):
+    """The :class:`Dht` facade over the asyncio/TCP service runtime.
+
+    ``transport="asyncio"`` passes frames through per-actor inboxes;
+    ``transport="tcp"`` sends the same frames through real loopback
+    sockets (one listener per peer, one multiplexed client connection
+    each).  Either way the runtime starts lazily on first use; call
+    :meth:`close` (or use the instance as a context manager) to tear
+    the actors, sockets and loop thread down deterministically.
+    """
+
+    def __init__(
+        self,
+        n_peers: int = 8,
+        *,
+        transport: str = "asyncio",
+        virtual_nodes: int = 1,
+        peer_prefix: str = "peer",
+    ) -> None:
+        super().__init__()
+        if n_peers < 1:
+            raise ReproError(f"n_peers must be >= 1, got {n_peers}")
+        if transport not in TRANSPORTS:
+            raise ReproError(
+                f"unknown service transport {transport!r}; expected one "
+                f"of {TRANSPORTS}"
+            )
+        self._transport_kind = transport
+        self._ring = HashRing(
+            [f"{peer_prefix}-{index:04d}" for index in range(n_peers)],
+            virtual_nodes,
+        )
+        self.network = ServiceTransport()
+        self._request_ids = itertools.count(1)
+        self._loop_thread: _LoopThread | None = None
+        self._actors: dict[str, _ActorNode] = {}
+        self._channels: dict[str, _TcpChannel] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ServiceDht":
+        """Spin up the loop thread and every actor (idempotent)."""
+        if self._closed:
+            raise ReproError("this ServiceDht has been closed")
+        if self._loop_thread is None:
+            self._loop_thread = _LoopThread()
+            self._loop_thread.run(self._start_nodes())
+        return self
+
+    async def _start_nodes(self) -> None:
+        for name in self._ring.peers():
+            actor = _ActorNode(KeyValuePeer(name))
+            self._actors[name] = actor
+            if self._transport_kind == "tcp":
+                await actor.start_listener()
+                channel = _TcpChannel()
+                await channel.connect(actor.port)
+                self._channels[name] = channel
+
+    def close(self) -> None:
+        """Stop actors, close sockets, and join the loop thread."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop_thread is not None:
+            self._loop_thread.run(self._stop_nodes())
+            self._loop_thread.stop()
+            self._loop_thread = None
+
+    async def _stop_nodes(self) -> None:
+        for channel in self._channels.values():
+            await channel.close()
+        for actor in self._actors.values():
+            await actor.stop()
+
+    def __enter__(self) -> "ServiceDht":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _bridge(self) -> _LoopThread:
+        self.start()
+        return self._loop_thread
+
+    # ------------------------------------------------------------------
+    # Oracle access
+    # ------------------------------------------------------------------
+
+    def peer_of(self, key: str) -> str:
+        return self._ring.peer_of(key)
+
+    def peers(self) -> list[str]:
+        return self._ring.peers()
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        if self._loop_thread is None:
+            return iter(())
+        return iter(self._bridge().run(self._snapshot_items()))
+
+    async def _snapshot_items(self) -> list[tuple[str, Any]]:
+        return [
+            pair
+            for actor in self._actors.values()
+            for pair in actor.peer.store.items()
+        ]
+
+    def load_by_peer(self, weigh=None) -> dict[str, int]:
+        """Per-peer storage load (same contract as ``LocalDht``)."""
+        loads = dict.fromkeys(self._ring.peers(), 0)
+        if self._loop_thread is None:
+            return loads
+        for name, actor in self._actors.items():
+            total = 0
+            for _, value in actor.peer.store.items():
+                total += 1 if weigh is None else weigh(value)
+            loads[name] = total
+        return loads
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    async def _request(self, op: Op, key: str, value: Any = None) -> Any:
+        stats = self.network.stats
+        actor = self._actors[self._ring.peer_of(key)]
+        request_id = next(self._request_ids)
+        frame_bytes = encode_request(op, request_id, key, value)
+        stats.record_rpc()
+        stats.record_message(op.name.lower(), frame_wire_cost(op, key, value))
+        if self._transport_kind == "tcp":
+            reply = await self._channels[actor.peer.name].call(
+                frame_bytes, request_id
+            )
+        else:
+            reply = await actor.call(frame_bytes)
+        stats.record_message(
+            op.name.lower() + ":reply",
+            frame_wire_cost(reply.op, "", reply.body),
+        )
+        if reply.op is Op.REPLY_ERR:
+            raise rebuild_error(reply.body)
+        return reply.body
+
+    async def _request_captured(
+        self, op: Op, key: str, value: Any = None
+    ) -> Any:
+        try:
+            return await self._request(op, key, value)
+        except NodeUnreachableError as error:
+            return BatchFailure(error)
+
+    def _call(self, op: Op, key: str, value: Any = None) -> Any:
+        bridge = self._bridge()
+        clock = self.network.clock
+        started = clock.now
+        try:
+            return bridge.run(self._request(op, key, value))
+        finally:
+            self.network.stats.record_wall_span(clock.now - started)
+
+    async def _gather_round(self, calls: list[tuple]) -> list[Any]:
+        clock = self.network.clock
+        started = clock.now
+        tracer = self.network.tracer
+        if tracer is None:
+            outcomes = await asyncio.gather(
+                *(self._request_captured(*call) for call in calls)
+            )
+            elapsed = clock.now - started
+        else:
+            with tracer.span("net", "message_round") as span:
+                outcomes = await asyncio.gather(
+                    *(self._request_captured(*call) for call in calls)
+                )
+                elapsed = clock.now - started
+                span.attrs["fanout"] = len(calls)
+                span.attrs["critical_path"] = elapsed
+        # The round's wall span is its critical path: the elements ran
+        # concurrently, so the batch costs the slowest element, exactly
+        # the accounting SimNetwork.message_round applies to the
+        # simulated clock.  The simulated-latency axis stays untouched.
+        self.network.stats.record_round(len(calls), 0.0)
+        self.network.stats.record_wall_span(elapsed)
+        return outcomes
+
+    def _call_many(self, calls: list[tuple]) -> list[Any]:
+        return self._bridge().run(self._gather_round(calls))
+
+    # ------------------------------------------------------------------
+    # Substrate primitives
+    # ------------------------------------------------------------------
+
+    def _do_lookup(self, key: str) -> str:
+        return self._call(Op.LOOKUP, key)
+
+    def _do_get(self, key: str) -> Any | None:
+        return self._call(Op.GET, key)
+
+    def _do_put(self, key: str, value: Any) -> None:
+        self._call(Op.PUT, key, value)
+
+    def _do_remove(self, key: str) -> Any:
+        return self._call(Op.REMOVE, key)
+
+    def _do_contains(self, key: str) -> bool:
+        return self._call(Op.CONTAINS, key)
+
+    def _do_get_many(self, keys: Sequence[str]) -> list[Any]:
+        return self._call_many([(Op.GET, key) for key in keys])
+
+    def _do_put_many(self, items: Sequence[tuple[str, Any]]) -> list[Any]:
+        return self._call_many(
+            [(Op.PUT, key, value) for key, value in items]
+        )
+
+    def _do_lookup_many(self, keys: Sequence[str]) -> list[Any]:
+        return self._call_many([(Op.LOOKUP, key) for key in keys])

@@ -1,0 +1,208 @@
+"""The framed wire protocol service peers speak.
+
+One message = one frame::
+
+    +--------+---------+--------+------------+-------------+---------+
+    | magic  | version | opcode | request id | payload len | payload |
+    | 4 B    | 1 B     | 1 B    | 4 B        | 4 B         | ...     |
+    +--------+---------+--------+------------+-------------+---------+
+
+The header is struct-packed big-endian; the payload is a pickled
+``(key, value)`` request body or a reply body.  Frames are
+self-delimiting, so a byte stream (an asyncio TCP connection) is cut
+into messages by :class:`FrameDecoder` with no sentinel scanning, and a
+datagram-style transport (the in-process actor inbox) passes one frame
+per message.
+
+Byte accounting deliberately has two faces:
+
+* ``len(encode_frame(...))`` — the bytes actually crossing a socket
+  (pickle is an implementation detail of this runtime);
+* :func:`frame_wire_cost` — the *modelled* size used for
+  ``NetworkStats.bytes_sent``, built from the same
+  ``RECORD_WIRE_BYTES`` / :func:`~repro.dht.api.estimate_wire_size`
+  accounting the simulated substrates charge, so byte counters stay
+  comparable across runtimes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any
+
+from repro.common.errors import ReproError
+from repro.dht.api import estimate_wire_size
+
+#: Frame header: magic, version, opcode, request id, payload length.
+HEADER = struct.Struct("!4sBBII")
+MAGIC = b"mLGT"
+VERSION = 1
+
+#: Refuse absurd frames instead of allocating attacker-sized buffers.
+MAX_PAYLOAD = 64 * 1024 * 1024
+
+
+class WireError(ReproError):
+    """A frame violated the protocol (bad magic, version, or length)."""
+
+
+class Op(IntEnum):
+    """Frame opcodes: the five Dht primitives plus the two replies."""
+
+    LOOKUP = 1
+    GET = 2
+    PUT = 3
+    REMOVE = 4
+    CONTAINS = 5
+    REPLY_OK = 32
+    REPLY_ERR = 33
+
+
+#: Requests carry (key, value); replies carry their result payload.
+REQUEST_OPS = (Op.LOOKUP, Op.GET, Op.PUT, Op.REMOVE, Op.CONTAINS)
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """One decoded wire message."""
+
+    op: Op
+    request_id: int
+    body: Any
+
+    @property
+    def is_reply(self) -> bool:
+        return self.op in (Op.REPLY_OK, Op.REPLY_ERR)
+
+
+def encode_frame(op: Op, request_id: int, body: Any) -> bytes:
+    """Pack one message into header + pickled payload bytes."""
+    payload = pickle.dumps(body, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_PAYLOAD:
+        raise WireError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte frame limit"
+        )
+    header = HEADER.pack(MAGIC, VERSION, int(op), request_id, len(payload))
+    return header + payload
+
+
+def encode_request(
+    op: Op, request_id: int, key: str, value: Any = None
+) -> bytes:
+    """Frame one primitive request (``value`` only meaningful for put)."""
+    if op not in REQUEST_OPS:
+        raise WireError(f"opcode {op!r} is not a request")
+    return encode_frame(op, request_id, (key, value))
+
+
+def encode_reply(request_id: int, result: Any) -> bytes:
+    """Frame a successful reply."""
+    return encode_frame(Op.REPLY_OK, request_id, result)
+
+
+def encode_error(request_id: int, error: Exception) -> bytes:
+    """Frame a failed reply.
+
+    The error's *class* travels by name with its message, never as a
+    pickled object: the receiving side rebuilds a known library error
+    (or a :class:`WireError` for anything unrecognised), so a peer can
+    never make a client unpickle arbitrary exception state.
+    """
+    if len(error.args) == 1 and isinstance(error.args[0], str):
+        # str() on a KeyError subclass repr-quotes its message; the
+        # bare argument is the human-readable text either way.
+        message = error.args[0]
+    else:
+        message = str(error)
+    return encode_frame(Op.REPLY_ERR, request_id, (type(error).__name__, message))
+
+
+def rebuild_error(body: Any) -> Exception:
+    """Inverse of :func:`encode_error` on the client side."""
+    from repro.common import errors
+
+    name, message = body
+    cls = getattr(errors, name, None)
+    if isinstance(cls, type) and issubclass(cls, errors.ReproError):
+        return cls(message)
+    return WireError(f"peer error {name}: {message}")
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode exactly one frame from *data* (surplus bytes rejected)."""
+    frames, leftover = _split_frames(data)
+    if len(frames) != 1 or leftover:
+        raise WireError(
+            f"expected exactly one frame, got {len(frames)} plus "
+            f"{len(leftover)} leftover byte(s)"
+        )
+    return frames[0]
+
+
+def _split_frames(data: bytes) -> tuple[list[Frame], bytes]:
+    frames: list[Frame] = []
+    view = memoryview(data)
+    while len(view) >= HEADER.size:
+        magic, version, op, request_id, length = HEADER.unpack_from(view)
+        if magic != MAGIC:
+            raise WireError(f"bad frame magic {bytes(magic)!r}")
+        if version != VERSION:
+            raise WireError(
+                f"unsupported protocol version {version} (speaking "
+                f"{VERSION})"
+            )
+        if length > MAX_PAYLOAD:
+            raise WireError(
+                f"declared payload of {length} bytes exceeds the "
+                f"{MAX_PAYLOAD}-byte frame limit"
+            )
+        if len(view) < HEADER.size + length:
+            break
+        payload = view[HEADER.size : HEADER.size + length]
+        try:
+            body = pickle.loads(payload)
+        except Exception as exc:  # pickle raises many concrete types
+            raise WireError(f"undecodable frame payload: {exc}") from exc
+        try:
+            opcode = Op(op)
+        except ValueError as exc:
+            raise WireError(f"unknown opcode {op}") from exc
+        frames.append(Frame(opcode, request_id, body))
+        view = view[HEADER.size + length :]
+    return frames, bytes(view)
+
+
+class FrameDecoder:
+    """Incremental decoder for a byte stream of frames.
+
+    Feed it whatever chunk sizes the transport produces; it buffers
+    partial frames and yields each message exactly once, in order.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = b""
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Absorb *data*, returning every frame completed by it."""
+        frames, self._buffer = _split_frames(self._buffer + data)
+        return frames
+
+
+def frame_wire_cost(op: Op, key: str = "", value: Any = None) -> int:
+    """Modelled on-the-wire size of one message, in bytes.
+
+    Header plus the key's own bytes plus the value's record-based
+    estimate — the accounting the simulated substrates already charge
+    via :func:`~repro.dht.api.estimate_wire_size`, applied to the real
+    protocol so ``bytes_sent`` is comparable across runtimes.
+    """
+    cost = HEADER.size + len(key.encode())
+    if value is not None:
+        cost += estimate_wire_size(value)
+    return cost

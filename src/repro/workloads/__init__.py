@@ -1,7 +1,13 @@
 """Workload generators: range queries and insertion/deletion traces."""
 
 from repro.workloads.queries import uniform_range_queries, point_queries
-from repro.workloads.traces import Operation, insert_trace, mixed_trace
+from repro.workloads.traces import (
+    Operation,
+    insert_trace,
+    mixed_trace,
+    request_trace,
+    run_operation,
+)
 
 __all__ = [
     "uniform_range_queries",
@@ -9,4 +15,6 @@ __all__ = [
     "Operation",
     "insert_trace",
     "mixed_trace",
+    "request_trace",
+    "run_operation",
 ]

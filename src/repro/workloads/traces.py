@@ -1,4 +1,5 @@
-"""Insertion/deletion traces for maintenance experiments."""
+"""Insertion/deletion/query traces for experiments and the load
+generator."""
 
 from __future__ import annotations
 
@@ -6,17 +7,23 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.common.errors import ReproError
-from repro.common.geometry import Point
+from repro.common.geometry import Point, Region
 from repro.common.rng import make_rng
 
 
 @dataclass(frozen=True, slots=True)
 class Operation:
-    """One trace step: ``kind`` is ``"insert"`` or ``"delete"``."""
+    """One trace step.
+
+    ``kind`` is ``"insert"``, ``"delete"``, ``"lookup"`` (exact-match
+    query of ``key``) or ``"range"`` (range query of ``region``;
+    ``key`` then carries the region's centre for reference).
+    """
 
     kind: str
     key: Point
     value: Any = None
+    region: Region | None = None
 
 
 def insert_trace(points: list[Point], value: Any = None) -> list[Operation]:
@@ -59,9 +66,67 @@ def mixed_trace(
     return operations
 
 
+def request_trace(
+    points: list[Point],
+    n_operations: int,
+    *,
+    lookup_fraction: float = 0.7,
+    range_fraction: float = 0.2,
+    insert_fraction: float = 0.1,
+    span: float = 0.0004,
+    dims: int = 2,
+    seed: int = 0,
+) -> list[Operation]:
+    """A mixed request stream over an already-loaded index.
+
+    The service load generator's workload: each step is an exact-match
+    lookup of a loaded key, a range query of volume *span* centred on a
+    loaded key, or an insertion of a fresh point, drawn with the given
+    weights.  *points* are the keys the index was loaded with; fresh
+    insertion points are drawn uniformly.  Deterministic under *seed*.
+    """
+    if not points:
+        raise ReproError("request_trace needs at least one loaded point")
+    weights = (lookup_fraction, range_fraction, insert_fraction)
+    if any(w < 0 for w in weights) or sum(weights) <= 0:
+        raise ReproError(
+            "lookup/range/insert fractions must be >= 0 and sum > 0, "
+            f"got {weights}"
+        )
+    if not 0.0 < span <= 1.0:
+        raise ReproError(f"span must be in (0, 1], got {span}")
+    rng = make_rng(seed)
+    side = span ** (1.0 / dims)
+    operations: list[Operation] = []
+    kinds = ("lookup", "range", "insert")
+    for _ in range(n_operations):
+        kind = rng.choices(kinds, weights=weights)[0]
+        if kind == "insert":
+            operations.append(
+                Operation(
+                    "insert", tuple(rng.random() for _ in range(dims))
+                )
+            )
+            continue
+        centre = points[rng.randrange(len(points))]
+        if kind == "lookup":
+            operations.append(Operation("lookup", centre))
+            continue
+        lows = tuple(
+            min(max(c - side / 2, 0.0), 1.0 - side) for c in centre
+        )
+        highs = tuple(low + side for low in lows)
+        operations.append(
+            Operation("range", centre, region=Region(lows, highs))
+        )
+    return operations
+
+
 def apply_trace(index, operations: list[Operation]) -> tuple[int, int]:
     """Apply *operations* to any over-DHT index; returns
-    (inserts, deletes) applied."""
+    (inserts, deletes) applied.  Query steps (``lookup``/``range``)
+    execute for their side effects on the meters; their answers are the
+    equivalence tests' concern (see :func:`run_operation`)."""
     inserts = deletes = 0
     for operation in operations:
         if operation.kind == "insert":
@@ -70,6 +135,25 @@ def apply_trace(index, operations: list[Operation]) -> tuple[int, int]:
         elif operation.kind == "delete":
             index.delete(operation.key, operation.value)
             deletes += 1
+        elif operation.kind in ("lookup", "range"):
+            run_operation(index, operation)
         else:
             raise ReproError(f"unknown trace op {operation.kind!r}")
     return inserts, deletes
+
+
+def run_operation(index, operation: Operation) -> Any:
+    """Execute one trace step against *index*, returning its answer.
+
+    The load generator and the sim-vs-service equivalence tests share
+    this dispatcher so "the same workload" means the same calls.
+    """
+    if operation.kind == "insert":
+        return index.insert(operation.key, operation.value)
+    if operation.kind == "delete":
+        return index.delete(operation.key, operation.value)
+    if operation.kind == "lookup":
+        return index.lookup(operation.key)
+    if operation.kind == "range":
+        return index.range_query(operation.region)
+    raise ReproError(f"unknown trace op {operation.kind!r}")

@@ -8,6 +8,7 @@ import pytest
 from hypothesis import strategies as st
 
 from repro.common.labels import root_label
+from repro.runtime import RuntimeConfig, create_dht
 
 
 # ----------------------------------------------------------------------
@@ -82,3 +83,25 @@ def points_strategy(dims: int):
 def rng() -> random.Random:
     """A deterministic RNG per test."""
     return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def make_dht():
+    """Factory for substrates routed through :func:`create_dht`.
+
+    Accepts either a :class:`RuntimeConfig` or the same keyword
+    overrides ``create_dht`` takes, and closes every runtime it built
+    (service runtimes own threads and sockets) when the test ends.
+    """
+    built = []
+
+    def factory(config: RuntimeConfig | None = None, **overrides):
+        dht = create_dht(config, **overrides)
+        built.append(dht)
+        return dht
+
+    yield factory
+    for dht in built:
+        close = getattr(dht, "close", None)
+        if close is not None:
+            close()

@@ -6,11 +6,12 @@ a silent behaviour change deep inside an experiment.
 """
 
 import random
+from dataclasses import fields
 
 import pytest
 
 from repro.common.config import IndexConfig
-from repro.common.errors import ReproError
+from repro.common.errors import ReproError, UnknownRuntimeError
 from repro.core.index import MLightIndex
 from repro.dht.localhash import LocalDht
 
@@ -80,3 +81,38 @@ class TestExecutionPlane:
     @pytest.mark.parametrize("plane", ["batched", "sequential"])
     def test_known_planes_accepted(self, plane):
         assert IndexConfig(execution=plane).execution == plane
+
+
+class TestRuntime:
+    def test_unknown_kind_raises_value_error(self):
+        """The contract is plain ``ValueError`` compatibility: callers
+        guarding with ``except ValueError`` must catch it."""
+        with pytest.raises(ValueError, match=r"unknown runtime 'threads'"):
+            IndexConfig(runtime="threads")
+
+    def test_unknown_kind_is_the_library_error(self):
+        with pytest.raises(UnknownRuntimeError, match=r"sim.*asyncio.*tcp"):
+            IndexConfig(runtime="gevent")
+
+    @pytest.mark.parametrize("kind", ["sim", "asyncio", "tcp"])
+    def test_known_kinds_accepted(self, kind):
+        assert IndexConfig(runtime=kind).runtime == kind
+
+    def test_default_is_the_simulated_plane(self):
+        assert IndexConfig().runtime == "sim"
+
+
+class TestRepr:
+    def test_repr_lists_every_field(self):
+        """``repr`` is the one authoritative listing of the config
+        surface: every declared field must appear with its value, so a
+        field added later can never be invisible in logs."""
+        config = IndexConfig(dims=3, runtime="asyncio", tracing=True)
+        text = repr(config)
+        assert text.startswith("IndexConfig(")
+        for spec in fields(IndexConfig):
+            assert f"{spec.name}={getattr(config, spec.name)!r}" in text
+
+    def test_repr_round_trips_through_eval(self):
+        config = IndexConfig(split_threshold=40, merge_threshold=20)
+        assert eval(repr(config)) == config  # noqa: S307

@@ -55,3 +55,9 @@ class TestExamples:
         out = run_example("distributed_deployment.py")
         assert "identical answers and identical metered costs" in out
         assert out.count("DHT-lookups") >= 3
+
+    def test_service_plane(self):
+        out = run_example("service_plane.py")
+        assert "identical across runtimes" in out
+        assert "achieved QPS" in out
+        assert "p99 latency (ms)" in out
