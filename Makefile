@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-faults trace-smoke bench bench-smoke bench-hotpath bench-full bench-service experiments experiments-full clean
+.PHONY: install lint test test-faults trace-smoke bench bench-smoke bench-hotpath bench-dataplane bench-full bench-service experiments experiments-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -29,6 +29,9 @@ bench-smoke:
 
 bench-hotpath:
 	REPRO_BENCH_SIZE=12000 $(PYTHON) -m pytest benchmarks/test_hotpath.py
+
+bench-dataplane:
+	REPRO_BENCH_SIZE=12000 REPRO_BENCH_MILLION=1 $(PYTHON) -m pytest benchmarks/test_dataplane.py
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

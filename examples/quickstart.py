@@ -3,7 +3,12 @@
 Run with::
 
     python examples/quickstart.py
+
+Set ``REPRO_STORE=list|columnar|numpy`` to pick the bucket record-store
+backend; every backend returns identical answers.
 """
+
+import os
 
 from repro import IndexConfig, MLightIndex, Region, create_dht
 
@@ -11,8 +16,10 @@ from repro import IndexConfig, MLightIndex, Region, create_dht
 def main() -> None:
     # An over-DHT index needs only a DHT exposing put/get/lookup; the
     # default runtime simulates 128 peers with consistent hashing.
+    # The `store` knob picks how leaf buckets hold their records.
+    store = os.environ.get("REPRO_STORE", "columnar")
     config = IndexConfig(dims=2, max_depth=20, split_threshold=8,
-                         merge_threshold=4)
+                         merge_threshold=4, store=store)
     index = MLightIndex(create_dht(n_peers=128), config)
 
     # Insert a handful of 2-D records: (key, value).

@@ -8,8 +8,12 @@ data-aware splitting strategies on the same data (Section 4).
 Run with::
 
     python examples/spatial_poi_search.py [n_points]
+
+Set ``REPRO_STORE=list|columnar|numpy`` to pick the bucket record-store
+backend; answers are identical, only query throughput changes.
 """
 
+import os
 import sys
 from dataclasses import replace
 
@@ -28,7 +32,8 @@ def build(strategy: str, points, config: IndexConfig) -> MLightIndex:
 def main() -> None:
     n_points = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
     config = IndexConfig(dims=2, max_depth=24, split_threshold=50,
-                         merge_threshold=25, expected_load=35)
+                         merge_threshold=25, expected_load=35,
+                         store=os.environ.get("REPRO_STORE", "columnar"))
     print(f"generating {n_points} NE-surrogate postal addresses...")
     points = northeast_surrogate(n_points)
 

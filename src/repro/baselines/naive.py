@@ -46,7 +46,10 @@ class NaiveTreeIndex(OverDhtIndex):
         )
         root = root_label(self._dims)
         if self.dht.peek(_key(root)) is None:
-            self.dht.put(_key(root), LeafBucket(root, self._dims))
+            self.dht.put(
+                _key(root),
+                LeafBucket(root, self._dims, store=self._config.store),
+            )
 
     def lookup(self, point: Point) -> tuple[LeafBucket, int]:
         """Linear probing of candidate labels from the root downward."""
@@ -79,7 +82,9 @@ class NaiveTreeIndex(OverDhtIndex):
         for label, records in plan.leaves:
             self.dht.put(
                 _key(label),
-                LeafBucket(label, self._dims, list(records)),
+                LeafBucket(
+                    label, self._dims, records, store=self._config.store
+                ),
                 records_moved=len(records),
             )
 

@@ -34,8 +34,8 @@ from repro.common.geometry import (
     region_of_bits,
 )
 from repro.common.labels import interleave
-from repro.core.columnar import ColumnStore
 from repro.core.records import Record
+from repro.core.store import DEFAULT_STORE, RecordStore, create_store
 from repro.core.results import RangeQueryBuilder, RangeQueryResult
 from repro.baselines.interface import OverDhtIndex
 from repro.dht.api import Dht
@@ -56,9 +56,14 @@ class PhtNode:
     records: list[Record] = field(default_factory=list)
     prev_leaf: str | None = None
     next_leaf: str | None = None
-    #: Lazily built columnar filter; dropped on record mutation.
-    _columns: ColumnStore | None = field(
+    #: Lazily built record store behind the filter; rebuilt whenever
+    #: the generation counter says the records changed.
+    _store: RecordStore | None = field(
         default=None, init=False, repr=False, compare=False
+    )
+    _generation: int = field(default=0, init=False, repr=False, compare=False)
+    _built_generation: int = field(
+        default=-1, init=False, repr=False, compare=False
     )
 
     @property
@@ -66,18 +71,31 @@ class PhtNode:
         return len(self.records)
 
     def touch(self) -> None:
-        """Invalidate derived state after mutating ``records``."""
-        self._columns = None
+        """Invalidate derived state after mutating ``records``.
 
-    def matching(self, query: Region, dims: int) -> list[Record]:
-        """Records inside the closed *query*, via the columnar store
-        (the trie shares the kd split cycle, so the cell's next split
-        dimension orders the store)."""
-        store = self._columns
-        if store is None or store.count != len(self.records):
-            store = ColumnStore(self.records, dims, len(self.prefix) % dims)
-            self._columns = store
-        return store.matching(self.records, query.lows, query.highs)
+        A generation counter, not a count compare: an equal-count
+        remove+add between queries must still invalidate the store.
+        """
+        self._generation += 1
+
+    def matching(
+        self, query: Region, dims: int, kind: str = DEFAULT_STORE
+    ) -> list[Record]:
+        """Records inside the closed *query*, via the configured record
+        store (the trie shares the kd split cycle, so the cell's next
+        split dimension orders the store)."""
+        store = self._store
+        if (
+            store is None
+            or store.kind != kind
+            or self._built_generation != self._generation
+        ):
+            store = create_store(
+                kind, dims, len(self.prefix) % dims, self.records
+            )
+            self._store = store
+            self._built_generation = self._generation
+        return store.matching(query.lows, query.highs)
 
 
 class PhtIndex(OverDhtIndex):
@@ -361,7 +379,10 @@ class PhtIndex(OverDhtIndex):
     ) -> None:
         if leaf.prefix in builder.visited_leaves:
             return
-        builder.collect(leaf.prefix, leaf.matching(query, self._dims))
+        builder.collect(
+            leaf.prefix,
+            leaf.matching(query, self._dims, self._config.store),
+        )
 
     # ------------------------------------------------------------------
     # Oracle access

@@ -57,6 +57,15 @@ class IndexConfig:
             sockets).  Query answers and index-level cost meters are
             identical across runtimes; only clocks differ (simulated
             rounds vs wall-clock spans).
+        store: which record-store backend leaf buckets keep their
+            records in — a kind registered with
+            :func:`repro.core.store.register_store`: ``"list"`` (the
+            naive scan oracle), ``"columnar"`` (sorted struct-of-arrays
+            snapshots, the default) or ``"numpy"`` (per-dimension
+            ``float64`` ndarrays with vectorized mask-reduction
+            matching; falls back to columnar with a warning when numpy
+            is not installed).  Query answers are bit-identical across
+            backends; only the constant factors differ.
         tracing: when True the index builds a
             :class:`~repro.obs.trace.Tracer` and threads it through the
             engines, planes, DHT stack and simulated network, so every
@@ -77,6 +86,7 @@ class IndexConfig:
     default_lookahead: int = 1
     execution: str = "batched"
     runtime: str = "sim"
+    store: str = "columnar"
     tracing: bool = False
 
     STRATEGIES = ("threshold", "data-aware")
@@ -124,6 +134,19 @@ class IndexConfig:
             raise UnknownRuntimeError(
                 f"unknown runtime {self.runtime!r}; expected one of "
                 f"{self.RUNTIMES}"
+            )
+        # Validated against the live registry, not a frozen tuple, so a
+        # backend added via register_store is immediately configurable.
+        # Imported lazily: repro.common must stay importable below
+        # repro.core in the layering.
+        from repro.core.store import store_backends
+
+        if self.store not in store_backends():
+            from repro.common.errors import UnknownStoreError
+
+            raise UnknownStoreError(
+                f"unknown store backend {self.store!r}; expected one "
+                f"of {store_backends()}"
             )
 
     def __repr__(self) -> str:

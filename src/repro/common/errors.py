@@ -34,6 +34,17 @@ class UnknownRuntimeError(ReproError, ValueError):
     """
 
 
+class UnknownStoreError(ReproError, ValueError):
+    """A record-store backend name is not in the store registry.
+
+    Raised by :func:`repro.core.store.create_store` and by
+    :class:`~repro.common.config.IndexConfig` validation of the
+    ``store=`` field.  Subclasses :class:`ValueError` for the same
+    reason as :class:`UnknownRuntimeError`: the offending name is a
+    plain bad value.
+    """
+
+
 class IndexCorruptionError(ReproError, RuntimeError):
     """The distributed index reached a state that violates an invariant.
 

@@ -22,32 +22,57 @@ from collections.abc import Iterable
 from repro.common.config import IndexConfig
 from repro.common.errors import ReproError
 from repro.common.labels import root_label
+from repro.core import npstore
 from repro.core.bucket import LeafBucket
 from repro.core.keys import bucket_key
 from repro.core.naming import naming_function
 from repro.core.records import Record
 from repro.core.split import SplitStrategy, ThresholdSplit
+from repro.core.store import Rows
 from repro.dht.api import Dht
 
 
+def coerce_bulk_items(items, dims: int):
+    """Normalise a bulk-load input to Rows or a list of records.
+
+    A numpy ``(n, dims)`` matrix becomes a :class:`Rows` block backed by
+    its columns — validated vectorially, never materialised as
+    :class:`Record` objects.  A ``Rows`` block passes through.  Anything
+    else goes item-by-item through :meth:`Record.coerce`, the same rule
+    ``MLightIndex.insert_many`` uses.
+    """
+    if isinstance(items, Rows):
+        if items.dims != dims:
+            raise ReproError(
+                f"Rows carry {items.dims} dims, config says {dims}"
+            )
+        return items
+    if npstore.HAVE_NUMPY and hasattr(items, "__array_interface__"):
+        return npstore.rows_from_matrix(items, dims)
+    return [Record.coerce(item, dims=dims) for item in items]
+
+
 def plan_bulk_tree(
-    records: list[Record],
+    records,
     config: IndexConfig,
     strategy: SplitStrategy,
-) -> list[tuple[str, list[Record]]]:
+):
     """Partition *records* into the strategy's static leaf set.
 
     Applies the strategy's split planner once at the root over the full
     dataset; for :class:`~repro.core.split.DataAwareSplit` this is
-    exactly Algorithm 1 in its Theorem-6 setting.
+    exactly Algorithm 1 in its Theorem-6 setting.  *records* is a list
+    of :class:`Record` or a columnar :class:`Rows` block — the
+    partition recursion handles both, and plan leaves keep the input's
+    representation.
     """
     root = root_label(config.dims)
     plan = strategy.plan_split(
         root, records, config.dims, config.max_depth
     )
     if plan is None:
-        return [(root, list(records))]
-    return [(label, list(leaf)) for label, leaf in plan.leaves]
+        return [(root, records)]
+    return list(plan.leaves)
 
 
 def bulk_load(
@@ -60,10 +85,12 @@ def bulk_load(
 
     *items* are ``Record`` objects, ``(key, value)`` pairs, or bare
     keys — normalised by :meth:`Record.coerce`, the same rule
-    ``MLightIndex.insert_many`` uses.  Returns ``(label, load)`` for
-    every placed bucket.  The DHT
-    must not already carry an m-LIGHT tree (bulk loading replaces, it
-    does not merge).
+    ``MLightIndex.insert_many`` uses — or an ``(n, dims)`` numpy matrix
+    / :class:`Rows` block, which flows column-wise through partitioning
+    and into the buckets' stores without ever materialising ``Record``
+    objects (the vectorized fast path).  Returns ``(label, load)`` for
+    every placed bucket.  The DHT must not already carry an m-LIGHT
+    tree (bulk loading replaces, it does not merge).
 
     Attach a :class:`~repro.core.index.MLightIndex` afterwards for
     queries and further maintenance — it detects the existing tree and
@@ -84,14 +111,16 @@ def bulk_load(
             "from scratch"
         )
 
-    records = [Record.coerce(item, dims=config.dims) for item in items]
+    records = coerce_bulk_items(items, config.dims)
 
     leaves = plan_bulk_tree(records, config, strategy)
     placed = []
     pairs = []
     moved = []
     for label, leaf_records in leaves:
-        bucket = LeafBucket(label, config.dims, leaf_records)
+        bucket = LeafBucket(
+            label, config.dims, leaf_records, store=config.store
+        )
         pairs.append(
             (bucket_key(naming_function(label, config.dims)), bucket)
         )

@@ -374,7 +374,9 @@ class MLightIndex:
         root_key = bucket_key(virtual_root(self.dims))
         if self._dht.peek(root_key) is not None:
             return
-        root = LeafBucket(root_label(self.dims), self.dims)
+        root = LeafBucket(
+            root_label(self.dims), self.dims, store=self._config.store
+        )
         self._dht.put(root_key, root)
 
     def _apply_split(self, plan: SplitPlan) -> None:
@@ -400,7 +402,13 @@ class MLightIndex:
                 survivor = (label, records)
                 continue
             pairs.append(
-                (bucket_key(name), LeafBucket(label, self.dims, list(records)))
+                (
+                    bucket_key(name),
+                    LeafBucket(
+                        label, self.dims, records,
+                        store=self._config.store,
+                    ),
+                )
             )
             moved.append(len(records))
         # The transferred leaves go to independent peers, so under the
@@ -418,7 +426,9 @@ class MLightIndex:
         label, records = survivor
         self._dht.rewrite_local(
             bucket_key(origin_name),
-            LeafBucket(label, self.dims, list(records)),
+            LeafBucket(
+                label, self.dims, records, store=self._config.store
+            ),
         )
         if self._cache is not None:
             # This client made the split, so its cache can stay exact:
@@ -456,6 +466,7 @@ class MLightIndex:
                 parent_label,
                 self.dims,
                 list(bucket.records) + list(other.records),
+                store=self._config.store,
             )
             if self._tracer is not None:
                 self._tracer.event("merge", parent=parent_label)

@@ -1,0 +1,386 @@
+"""Vectorized record store and batch label packing (numpy backend).
+
+The ``"numpy"`` backend keeps one ``float64`` ndarray per dimension and
+answers ``matching`` with the same plan as the columnar store —
+binary-search narrowing on the sort dimension, then per-dimension
+filtering — but every step runs as a whole-column vectorized operation:
+``searchsorted`` bounds the candidate run, boolean-mask reduction
+filters it, and one ``sort`` restores insertion order.  Answers are
+bit-identical to the naive scan (same IEEE-754 compares on the same
+doubles, order restored by position), which the equivalence sweep in
+``tests/test_hotpath_equivalence.py`` asserts.
+
+The bulk-load path never materialises :class:`~repro.core.records.
+Record` objects: a coordinate matrix enters as
+:class:`~repro.core.store.Rows` with ndarray columns,
+:func:`partition_ndarray_rows` splits whole columns per tree level, and
+:func:`validate_columns` (fixed-point scaling, the same
+``int(c * 2**60)`` packing :func:`repro.common.labels.coordinate_bits`
+uses) replaces per-record construction-time validation.
+:func:`batch_interleave` exposes the packing as vectorized Morton/label
+interleaving, bit-equal to :func:`repro.common.labels.interleave`.
+
+numpy is an *optional* dependency (the ``[bench]`` extra): when the
+import fails, :mod:`repro.core.store` transparently falls back to the
+columnar backend with a one-time warning, so configs saying
+``store="numpy"`` keep working everywhere.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Sequence
+
+from repro.common.errors import InvalidPointError
+from repro.common.labels import MAX_RESOLUTION_BITS
+from repro.core.records import Record
+from repro.core.store import RecordStore, Rows
+
+try:  # pragma: no cover - exercised via both branches in CI matrices
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None
+    HAVE_NUMPY = False
+
+__all__ = [
+    "HAVE_NUMPY",
+    "NumpyStore",
+    "batch_interleave",
+    "batch_morton_codes",
+    "partition_ndarray_rows",
+    "validate_columns",
+    "warn_numpy_missing",
+]
+
+_SCALE = float(1 << MAX_RESOLUTION_BITS)
+
+_warned_missing = False
+
+
+def warn_numpy_missing() -> None:
+    """Emit (once) the numpy-unavailable fallback warning."""
+    global _warned_missing
+    if _warned_missing:
+        return
+    _warned_missing = True
+    warnings.warn(
+        "numpy is not installed; the 'numpy' record store falls back to "
+        "'columnar' (install the [bench] extra for the vectorized path)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _require_numpy() -> None:
+    if not HAVE_NUMPY:
+        raise ImportError(
+            "numpy is required for repro.core.npstore vectorized helpers"
+        )
+
+
+# ----------------------------------------------------------------------
+# Batch fixed-point packing (vectorized labels.coordinate_bits)
+# ----------------------------------------------------------------------
+
+
+def validate_columns(columns) -> list:
+    """Check every coordinate lies in ``[0, 1)``; return uint64 packing.
+
+    The returned arrays hold ``int(c * 2**60)`` per coordinate — exact,
+    because a power-of-two multiply only changes the float's exponent —
+    which is precisely the fixed-point form the label machinery's
+    :func:`~repro.common.labels.coordinate_bits` derives bits from.
+    One vectorized pass replaces per-record ``Record.make`` validation
+    on the bulk-load fast path.
+    """
+    _require_numpy()
+    scaled = []
+    for dim, column in enumerate(columns):
+        column = np.asarray(column, dtype=np.float64)
+        if column.size and (
+            float(column.min()) < 0.0 or float(column.max()) >= 1.0
+        ):
+            raise InvalidPointError(
+                f"coordinate outside [0, 1) in dimension {dim}"
+            )
+        scaled.append((column * _SCALE).astype(np.uint64))
+    return scaled
+
+
+def batch_morton_codes(columns, depth: int):
+    """Morton codes (as uint64) of every point, vectorized.
+
+    Bit ``k`` (MSB first) of each code is bit ``k // m + 1`` of
+    coordinate ``k % m`` — the exact interleaving rule of
+    :func:`repro.common.labels.interleave`.
+    """
+    _require_numpy()
+    if not 0 <= depth <= MAX_RESOLUTION_BITS:
+        raise InvalidPointError(
+            f"bit depth {depth} outside [0, {MAX_RESOLUTION_BITS}]"
+        )
+    scaled = validate_columns(columns)
+    dims = len(scaled)
+    count = len(scaled[0]) if dims else 0
+    codes = np.zeros(count, dtype=np.uint64)
+    for k in range(depth):
+        position = k // dims + 1
+        shift = np.uint64(MAX_RESOLUTION_BITS - position)
+        bit = (scaled[k % dims] >> shift) & np.uint64(1)
+        codes = (codes << np.uint64(1)) | bit
+    return codes
+
+
+def batch_interleave(points, depth: int) -> list[str]:
+    """Vectorized :func:`repro.common.labels.interleave` over a batch.
+
+    *points* is an ``(n, m)`` coordinate matrix (or anything
+    ``np.asarray`` makes one of); returns the *depth*-bit Morton string
+    of every row, bit-identical to the scalar implementation.
+    """
+    _require_numpy()
+    matrix = np.asarray(points, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise InvalidPointError(
+            f"expected an (n, dims) coordinate matrix, got shape "
+            f"{matrix.shape}"
+        )
+    codes = batch_morton_codes(list(matrix.T), depth)
+    if depth == 0:
+        return [""] * len(codes)
+    return [format(code, f"0{depth}b") for code in codes.tolist()]
+
+
+# ----------------------------------------------------------------------
+# Column-level partitioning for the bulk-load recursion
+# ----------------------------------------------------------------------
+
+
+def rows_from_matrix(points, dims: int) -> Rows:
+    """Build :class:`Rows` (values all None) from an ``(n, m)`` matrix,
+    validating every coordinate in one vectorized pass."""
+    _require_numpy()
+    matrix = np.asarray(points, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] != dims:
+        raise InvalidPointError(
+            f"expected an (n, {dims}) coordinate matrix, got shape "
+            f"{matrix.shape}"
+        )
+    columns = [np.ascontiguousarray(matrix[:, dim]) for dim in range(dims)]
+    validate_columns(columns)
+    return Rows(dims, columns, None)
+
+
+def _take_rows(rows: Rows, positions) -> Rows:
+    columns = [np.asarray(column)[positions] for column in rows.columns]
+    values = (
+        None
+        if rows.values is None
+        else tuple(rows.values[int(i)] for i in positions)
+    )
+    return Rows(rows.dims, columns, values)
+
+
+def partition_ndarray_rows(
+    rows: Rows, dim: int, midpoint: float
+) -> tuple[Rows, Rows]:
+    """Vectorized ``partition_records``: one boolean mask per level.
+
+    The compare runs on the same doubles the scalar path compares, so
+    membership (and insertion order, preserved by positional indexing)
+    is bit-identical to the record-list partition.
+    """
+    _require_numpy()
+    column = np.asarray(rows.columns[dim])
+    upper = column >= midpoint
+    return (
+        _take_rows(rows, np.flatnonzero(~upper)),
+        _take_rows(rows, np.flatnonzero(upper)),
+    )
+
+
+# ----------------------------------------------------------------------
+# The vectorized record store
+# ----------------------------------------------------------------------
+
+
+class NumpyStore(RecordStore):
+    """Per-dimension ndarray columns with mask-reduction matching.
+
+    Two interchangeable sources of truth keep both the mutation path
+    and the bulk path cheap:
+
+    * ``_records`` — a plain record list, present after any
+      ``add``/``remove`` (mutations are O(1) list edits);
+    * insertion-order ndarray columns, present when the store was built
+      :meth:`from_rows` (bulk load) — records are only materialised if
+      someone asks for objects.
+
+    The query snapshot (stable argsort on the sort dimension plus
+    sorted columns) is rebuilt lazily, tagged by the generation counter
+    — never a count compare.
+    """
+
+    kind = "numpy"
+
+    __slots__ = (
+        "_records",
+        "_columns",
+        "_values",
+        "_order",
+        "_sorted",
+        "_built_generation",
+    )
+
+    def __init__(
+        self, dims: int, sort_dim: int, records: Sequence[Record] = ()
+    ) -> None:
+        _require_numpy()
+        super().__init__(dims, sort_dim)
+        self._records: list[Record] | None = list(records)
+        self._columns: list | None = None
+        self._values: tuple | None = None
+        self._order = None
+        self._sorted: list | None = None
+        self._built_generation = -1
+
+    # -- sources of truth ------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        if self._records is not None:
+            return len(self._records)
+        return len(self._columns[0]) if self._columns else 0
+
+    def _materialize_records(self) -> list[Record]:
+        records = self._records
+        if records is None:
+            lists = [column.tolist() for column in self._columns]
+            values = self._values
+            if values is None:
+                records = [Record(key) for key in zip(*lists)]
+            else:
+                records = [
+                    Record(key, value)
+                    for key, value in zip(zip(*lists), values)
+                ]
+            if not lists:
+                records = []
+            self._records = records
+        return records
+
+    def _insertion_columns(self) -> list:
+        if self._columns is not None:
+            return self._columns
+        records = self._records
+        self._columns = [
+            np.fromiter(
+                (record.key[dim] for record in records),
+                dtype=np.float64,
+                count=len(records),
+            )
+            for dim in range(self.dims)
+        ]
+        return self._columns
+
+    # -- mutations -------------------------------------------------------
+
+    def add(self, record: Record) -> None:
+        self._materialize_records().append(record)
+        self._columns = None
+        self._values = None
+        self.generation += 1
+
+    def remove(self, record: Record) -> bool:
+        records = self._materialize_records()
+        try:
+            records.remove(record)
+        except ValueError:
+            return False
+        self._columns = None
+        self._values = None
+        self.generation += 1
+        return True
+
+    # -- queries ---------------------------------------------------------
+
+    def _ensure_snapshot(self) -> None:
+        if (
+            self._sorted is not None
+            and self._built_generation == self.generation
+        ):
+            return
+        columns = self._insertion_columns()
+        order = np.argsort(columns[self.sort_dim], kind="stable")
+        self._order = order
+        self._sorted = [column[order] for column in columns]
+        self._built_generation = self.generation
+
+    def matching(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> list[Record]:
+        if self.count == 0:
+            return []
+        self._ensure_snapshot()
+        sort_dim = self.sort_dim
+        column = self._sorted[sort_dim]
+        start = int(np.searchsorted(column, lows[sort_dim], side="left"))
+        stop = int(np.searchsorted(column, highs[sort_dim], side="right"))
+        if start >= stop:
+            return []
+        mask = None
+        for dim, sorted_column in enumerate(self._sorted):
+            if dim == sort_dim:
+                continue
+            segment = sorted_column[start:stop]
+            dim_mask = (segment >= lows[dim]) & (segment <= highs[dim])
+            mask = dim_mask if mask is None else (mask & dim_mask)
+        if mask is None:  # one-dimensional: the bisect bounds decide
+            positions = self._order[start:stop]
+        else:
+            positions = self._order[start + np.flatnonzero(mask)]
+        # Materialised once per store (cached), then answers are plain
+        # list indexing — building a fresh Record per match per query
+        # would dominate the vectorized filter it sits behind.
+        records = self._materialize_records()
+        return [records[i] for i in np.sort(positions).tolist()]
+
+    # -- interchange -----------------------------------------------------
+
+    def records(self) -> list[Record]:
+        return self._materialize_records()
+
+    def payload_values(self) -> tuple | None:
+        if self._records is None:
+            return self._values  # bulk path: no Record materialisation
+        return super().payload_values()
+
+    def to_rows(self) -> Rows:
+        columns = self._insertion_columns()
+        if self._records is not None:
+            values = (
+                tuple(record.value for record in self._records)
+                if any(
+                    record.value is not None for record in self._records
+                )
+                else None
+            )
+        else:
+            values = self._values
+        return Rows(self.dims, columns, values)
+
+    @classmethod
+    def from_rows(cls, rows: Rows, sort_dim: int) -> "NumpyStore":
+        store = cls(rows.dims, sort_dim)
+        store._records = None
+        store._columns = [
+            np.ascontiguousarray(np.asarray(column, dtype=np.float64))
+            for column in rows.columns
+        ]
+        values = rows.values
+        if values is not None and all(value is None for value in values):
+            values = None
+        store._values = values
+        return store

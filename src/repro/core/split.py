@@ -27,21 +27,31 @@ from repro.common.errors import ReproError
 from repro.common.geometry import Region, region_of_label
 from repro.common.labels import label_depth, split_dimension
 from repro.core.records import Record
+from repro.core.store import Rows
+
+
+def _freeze(records):
+    """Plan-leaf payload: Rows pass through, record lists freeze."""
+    if isinstance(records, Rows):
+        return records
+    return tuple(records)
 
 
 @dataclass(frozen=True, slots=True)
 class SplitPlan:
     """Replacement of leaf *origin* by the leaves of a local subtree.
 
-    ``leaves`` maps each new leaf label to its records; the labels are
-    exactly the leaf set of a subtree rooted at *origin* (possibly
-    deeper than one level under the data-aware strategy, and including
-    empty leaves — every leaf needs a bucket for the bijection to
-    hold).
+    ``leaves`` maps each new leaf label to its records — a tuple of
+    :class:`Record` or a columnar :class:`~repro.core.store.Rows` block
+    (the bulk-load path partitions columns without materializing record
+    objects); the labels are exactly the leaf set of a subtree rooted at
+    *origin* (possibly deeper than one level under the data-aware
+    strategy, and including empty leaves — every leaf needs a bucket for
+    the bijection to hold).
     """
 
     origin: str
-    leaves: tuple[tuple[str, tuple[Record, ...]], ...]
+    leaves: tuple[tuple[str, "tuple[Record, ...] | Rows"], ...]
 
     def __post_init__(self) -> None:
         if len(self.leaves) < 2:
@@ -77,6 +87,10 @@ def partition_records(
     if region is None:
         region = region_of_label(label, dims)
     midpoint = (region.lows[dim] + region.highs[dim]) / 2.0
+    if isinstance(records, Rows):
+        # Column-level partition; float compares on the same IEEE
+        # doubles, so the assignment is bit-identical to the scan below.
+        return records.partition(dim, midpoint)
     lower = [record for record in records if record.key[dim] < midpoint]
     upper = [record for record in records if record.key[dim] >= midpoint]
     return lower, upper
@@ -129,7 +143,7 @@ class ThresholdSplit(SplitStrategy):
     def _split_into(self, label, records, dims, max_depth, out, region) -> None:
         at_cap = label_depth(label, dims) >= max_depth
         if len(records) <= self.split_threshold or at_cap:
-            out.append((label, tuple(records)))
+            out.append((label, _freeze(records)))
             return
         lower, upper = partition_records(label, dims, records, region)
         # Incremental midpoints: one Region.split per level instead of
@@ -183,9 +197,9 @@ class DataAwareSplit(SplitStrategy):
         """
         local_cost = self._deviation(len(records))
         if len(records) <= self.expected_load:
-            return local_cost, [(label, tuple(records))]
+            return local_cost, [(label, _freeze(records))]
         if label_depth(label, dims) >= max_depth:
-            return local_cost, [(label, tuple(records))]
+            return local_cost, [(label, _freeze(records))]
         if region is None:
             region = region_of_label(label, dims)
         lower, upper = partition_records(label, dims, records, region)
@@ -198,7 +212,7 @@ class DataAwareSplit(SplitStrategy):
         )
         non_local = left_cost + right_cost
         if local_cost <= non_local:
-            return local_cost, [(label, tuple(records))]
+            return local_cost, [(label, _freeze(records))]
         return non_local, left_leaves + right_leaves
 
     def should_merge(self, load_a: int, load_b: int) -> bool:

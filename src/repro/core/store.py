@@ -1,0 +1,389 @@
+"""The record-store plane: pluggable bucket interiors.
+
+A :class:`~repro.core.bucket.LeafBucket` is the DHT's storage unit, but
+*how* a bucket holds its records is a representation choice, not an
+index-semantics choice.  This module makes that choice explicit:
+
+* :class:`RecordStore` is the contract every backend satisfies —
+  ``add`` / ``remove`` / ``count`` / ``matching`` / ``records`` /
+  ``to_rows`` / ``from_rows`` — with a **generation counter** bumped on
+  every successful mutation, so owners (and the stores' own lazily
+  built query structures) invalidate derived state exactly when the
+  contents changed, never by comparing record counts (an equal-count
+  remove+add must not serve stale answers);
+* :class:`Rows` is the zero-copy-ish interchange format between
+  backends and the bulk-load partitioner: per-dimension coordinate
+  columns plus an optional values tuple.  Splitting moves *columns*
+  between stores without materialising one :class:`Record` object per
+  key;
+* :func:`register_store` is an open registry mirroring
+  :func:`repro.runtime.register_runtime`, so external backends (a
+  durable store, a compressed store) plug in without touching this
+  module.  Three backends ship built in:
+
+  ``"list"``
+      the original naive scan over a ``list[Record]`` — kept as the
+      equivalence oracle;
+  ``"columnar"``
+      the bisect-narrowed :class:`~repro.core.columnar.ColumnStore`
+      fast path, re-homed behind the seam;
+  ``"numpy"``
+      vectorized per-dimension ``float64`` ndarrays
+      (:mod:`repro.core.npstore`); falls back to ``"columnar"`` with a
+      warning when numpy is not installed.
+
+Every backend returns **bit-identical, insertion-ordered** answers;
+``tests/test_hotpath_equivalence.py`` sweeps all three against the
+naive scan on random workloads in 1–4 dimensions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from array import array
+from collections.abc import Callable, Sequence
+
+from repro.common.errors import UnknownStoreError
+from repro.core.columnar import ColumnStore
+from repro.core.records import Record
+
+__all__ = [
+    "Rows",
+    "RecordStore",
+    "ListStore",
+    "ColumnarStore",
+    "register_store",
+    "store_backends",
+    "create_store",
+    "DEFAULT_STORE",
+]
+
+DEFAULT_STORE = "columnar"
+
+
+class Rows:
+    """Column-major interchange form of a record batch.
+
+    ``columns[d][i]`` is coordinate ``d`` of record ``i`` (insertion
+    order); ``values`` is the aligned payload tuple, or ``None`` as a
+    compact sentinel for "every payload is None" — the common case for
+    bulk-loaded point sets, where it lets partitioning skip payload
+    bookkeeping entirely.  Columns are any indexable float sequence:
+    ``array('d')`` on the stdlib path, ``numpy.ndarray`` on the
+    vectorized path (:meth:`partition` dispatches on the column type).
+    """
+
+    __slots__ = ("dims", "columns", "values")
+
+    def __init__(self, dims: int, columns, values=None) -> None:
+        self.dims = dims
+        self.columns = columns
+        self.values = values
+
+    @classmethod
+    def from_records(cls, records: Sequence[Record], dims: int) -> "Rows":
+        columns = [
+            array("d", (record.key[dim] for record in records))
+            for dim in range(dims)
+        ]
+        if any(record.value is not None for record in records):
+            values = tuple(record.value for record in records)
+        else:
+            values = None
+        return cls(dims, columns, values)
+
+    def __len__(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def record_at(self, position: int) -> Record:
+        key = tuple(column[position] for column in self.columns)
+        value = None if self.values is None else self.values[position]
+        return Record(key, value)
+
+    def to_records(self) -> list[Record]:
+        columns = self.columns
+        if self.values is None:
+            return [Record(key) for key in zip(*columns)] if columns else []
+        return [
+            Record(key, value)
+            for key, value in zip(zip(*columns), self.values)
+        ]
+
+    def partition(self, dim: int, midpoint: float) -> tuple["Rows", "Rows"]:
+        """Split into (keys[dim] < midpoint, keys[dim] >= midpoint),
+        preserving insertion order on both sides — exactly the float
+        compare :func:`repro.core.split.partition_records` applies to
+        record lists, applied to whole columns at once."""
+        column = self.columns[dim]
+        if hasattr(column, "__array_interface__"):
+            from repro.core.npstore import partition_ndarray_rows
+
+            return partition_ndarray_rows(self, dim, midpoint)
+        lower_idx = []
+        upper_idx = []
+        for position, coordinate in enumerate(column):
+            if coordinate < midpoint:
+                lower_idx.append(position)
+            else:
+                upper_idx.append(position)
+        return self._take(lower_idx), self._take(upper_idx)
+
+    def _take(self, positions: list[int]) -> "Rows":
+        columns = [
+            array("d", (column[i] for i in positions))
+            for column in self.columns
+        ]
+        values = (
+            None
+            if self.values is None
+            else tuple(self.values[i] for i in positions)
+        )
+        return Rows(self.dims, columns, values)
+
+
+class RecordStore(ABC):
+    """One bucket interior: records plus a query structure over them.
+
+    Subclasses set :attr:`kind` (the registry name) and must bump
+    :attr:`generation` on every successful mutation — it is the *only*
+    staleness signal owners may rely on.  ``matching`` answers a closed
+    box query in insertion order, bit-identical to the naive scan.
+    """
+
+    kind: str = "abstract"
+
+    __slots__ = ("dims", "sort_dim", "generation")
+
+    def __init__(self, dims: int, sort_dim: int) -> None:
+        self.dims = dims
+        self.sort_dim = sort_dim
+        self.generation = 0
+
+    @property
+    @abstractmethod
+    def count(self) -> int:
+        """Number of records stored."""
+
+    @abstractmethod
+    def add(self, record: Record) -> None:
+        """Append *record* (bumps :attr:`generation`)."""
+
+    @abstractmethod
+    def remove(self, record: Record) -> bool:
+        """Remove one occurrence; True when found (bumps generation)."""
+
+    @abstractmethod
+    def matching(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> list[Record]:
+        """Records inside the closed box, in insertion order."""
+
+    @abstractmethod
+    def records(self) -> list[Record]:
+        """The stored records as a list, insertion order.
+
+        The returned list is owned by the store — callers must treat it
+        as read-only (mutate through :meth:`add`/:meth:`remove`, which
+        maintain the generation contract).
+        """
+
+    @abstractmethod
+    def to_rows(self) -> Rows:
+        """Column-major snapshot (insertion order) for codecs/splits."""
+
+    def payload_values(self) -> tuple | None:
+        """Aligned record payloads, or ``None`` when every payload is
+        None (the codec's compact all-None encoding)."""
+        records = self.records()
+        if any(record.value is not None for record in records):
+            return tuple(record.value for record in records)
+        return None
+
+    @classmethod
+    @abstractmethod
+    def from_rows(cls, rows: Rows, sort_dim: int) -> "RecordStore":
+        """Build a store from interchange rows without going through
+        per-record ``add`` calls."""
+
+
+class ListStore(RecordStore):
+    """The original representation: a plain list, linearly scanned.
+
+    Kept as the oracle backend — every other store must agree with it
+    bit for bit.
+    """
+
+    kind = "list"
+
+    __slots__ = ("_records",)
+
+    def __init__(
+        self, dims: int, sort_dim: int, records: Sequence[Record] = ()
+    ) -> None:
+        super().__init__(dims, sort_dim)
+        self._records = list(records)
+
+    @property
+    def count(self) -> int:
+        return len(self._records)
+
+    def add(self, record: Record) -> None:
+        self._records.append(record)
+        self.generation += 1
+
+    def remove(self, record: Record) -> bool:
+        try:
+            self._records.remove(record)
+        except ValueError:
+            return False
+        self.generation += 1
+        return True
+
+    def matching(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> list[Record]:
+        return [
+            record
+            for record in self._records
+            if all(
+                low <= coordinate <= high
+                for coordinate, low, high in zip(record.key, lows, highs)
+            )
+        ]
+
+    def records(self) -> list[Record]:
+        return self._records
+
+    def to_rows(self) -> Rows:
+        return Rows.from_records(self._records, self.dims)
+
+    @classmethod
+    def from_rows(cls, rows: Rows, sort_dim: int) -> "ListStore":
+        return cls(rows.dims, sort_dim, rows.to_records())
+
+
+class ColumnarStore(RecordStore):
+    """The bisect-narrowed columnar fast path behind the seam.
+
+    Wraps :class:`~repro.core.columnar.ColumnStore` (an immutable
+    snapshot) with generation-tagged lazy rebuilds: mutations are O(1)
+    list edits, the first ``matching`` after a mutation rebuilds the
+    snapshot.  Rebuild condition is *generation equality only* — never
+    a record-count compare.
+    """
+
+    kind = "columnar"
+
+    __slots__ = ("_records", "_snapshot", "_built_generation")
+
+    def __init__(
+        self, dims: int, sort_dim: int, records: Sequence[Record] = ()
+    ) -> None:
+        super().__init__(dims, sort_dim)
+        self._records = list(records)
+        self._snapshot: ColumnStore | None = None
+        self._built_generation = -1
+
+    @property
+    def count(self) -> int:
+        return len(self._records)
+
+    def add(self, record: Record) -> None:
+        self._records.append(record)
+        self.generation += 1
+
+    def remove(self, record: Record) -> bool:
+        try:
+            self._records.remove(record)
+        except ValueError:
+            return False
+        self.generation += 1
+        return True
+
+    def matching(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> list[Record]:
+        snapshot = self._snapshot
+        if snapshot is None or self._built_generation != self.generation:
+            snapshot = ColumnStore(self._records, self.dims, self.sort_dim)
+            self._snapshot = snapshot
+            self._built_generation = self.generation
+        return snapshot.matching(self._records, lows, highs)
+
+    def records(self) -> list[Record]:
+        return self._records
+
+    def to_rows(self) -> Rows:
+        return Rows.from_records(self._records, self.dims)
+
+    @classmethod
+    def from_rows(cls, rows: Rows, sort_dim: int) -> "ColumnarStore":
+        return cls(rows.dims, sort_dim, rows.to_records())
+
+
+# ----------------------------------------------------------------------
+# The open backend registry (mirrors repro.runtime.register_runtime)
+# ----------------------------------------------------------------------
+
+#: kind -> factory(dims, sort_dim, source) where source is None, a
+#: Record sequence, or a Rows batch.
+_STORES: dict[str, Callable] = {}
+
+
+def register_store(kind: str, factory: Callable) -> None:
+    """Register (or override) a record-store backend.
+
+    *factory* is called as ``factory(dims, sort_dim, source)`` with
+    ``source`` one of ``None`` (empty store), a sequence of
+    :class:`Record`, or a :class:`Rows` batch, and must return a
+    :class:`RecordStore`.
+    """
+    if not kind:
+        raise UnknownStoreError("store kind must be a non-empty string")
+    _STORES[kind] = factory
+
+
+def store_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted (``("columnar", "list", ...)``)."""
+    return tuple(sorted(_STORES))
+
+
+def create_store(
+    kind: str, dims: int, sort_dim: int, source=None
+) -> RecordStore:
+    """Instantiate backend *kind* over *source* records or rows."""
+    factory = _STORES.get(kind)
+    if factory is None:
+        raise UnknownStoreError(
+            f"unknown record store {kind!r}; expected one of "
+            f"{store_backends()}"
+        )
+    return factory(dims, sort_dim, source)
+
+
+def _sequence_factory(cls):
+    def factory(dims: int, sort_dim: int, source=None) -> RecordStore:
+        if source is None:
+            return cls(dims, sort_dim)
+        if isinstance(source, Rows):
+            return cls.from_rows(source, sort_dim)
+        return cls(dims, sort_dim, source)
+
+    return factory
+
+
+register_store("list", _sequence_factory(ListStore))
+register_store("columnar", _sequence_factory(ColumnarStore))
+
+
+def _numpy_factory(dims: int, sort_dim: int, source=None) -> RecordStore:
+    """The ``"numpy"`` backend, degrading to columnar without numpy."""
+    from repro.core import npstore
+
+    if npstore.HAVE_NUMPY:
+        return _sequence_factory(npstore.NumpyStore)(dims, sort_dim, source)
+    npstore.warn_numpy_missing()
+    return _sequence_factory(ColumnarStore)(dims, sort_dim, source)
+
+
+register_store("numpy", _numpy_factory)

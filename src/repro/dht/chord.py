@@ -22,7 +22,7 @@ from collections.abc import Iterator
 from typing import Any
 
 from repro.common.errors import DhtKeyError, ReproError
-from repro.dht.api import Dht, estimate_wire_size
+from repro.dht.api import Dht, data_wire_size, request_wire_size
 from repro.dht.batching import NetworkRoundBatchMixin
 from repro.dht.hashing import (
     ID_BITS,
@@ -63,12 +63,14 @@ class _NodeRef:
 class ChordNode:
     """One Chord peer: routing state, storage, and RPC handlers."""
 
-    def __init__(self, name: str, network: SimNetwork) -> None:
+    def __init__(
+        self, name: str, network: SimNetwork, encoded: bool = False
+    ) -> None:
         self.name = name
         self.ident = node_id_from_name(name)
         self.ref = _NodeRef(self.ident, name)
         self.network = network
-        self.store = PeerStore()
+        self.store = PeerStore(encoded=encoded)
         self.successors: list[_NodeRef] = [self.ref]
         self.predecessor: _NodeRef | None = None
         self.fingers: list[_NodeRef | None] = [None] * ID_BITS
@@ -244,6 +246,7 @@ class ChordDht(NetworkRoundBatchMixin, Dht):
         self,
         network: SimNetwork | None = None,
         replication: int = 1,
+        encoded_storage: bool = False,
     ) -> None:
         super().__init__()
         if replication < 1:
@@ -252,6 +255,9 @@ class ChordDht(NetworkRoundBatchMixin, Dht):
             )
         self.network = network if network is not None else SimNetwork()
         self.replication = replication
+        #: Keep peer values as encoded wire bytes (decode on access),
+        #: so churn handoff moves byte blobs, not object graphs.
+        self.encoded_storage = encoded_storage
         self._nodes: dict[str, ChordNode] = {}
 
     # ------------------------------------------------------------------
@@ -264,14 +270,17 @@ class ChordDht(NetworkRoundBatchMixin, Dht):
         n_peers: int,
         network: SimNetwork | None = None,
         replication: int = 1,
+        encoded_storage: bool = False,
     ) -> "ChordDht":
         """Create a converged ring of *n_peers* directly."""
         if n_peers < 1:
             raise ReproError(f"n_peers must be >= 1, got {n_peers}")
-        dht = cls(network, replication)
+        dht = cls(network, replication, encoded_storage)
         for index in range(n_peers):
             name = f"chord-{index:04d}"
-            dht._nodes[name] = ChordNode(name, dht.network)
+            dht._nodes[name] = ChordNode(
+                name, dht.network, encoded=encoded_storage
+            )
         dht.rewire()
         return dht
 
@@ -303,7 +312,7 @@ class ChordDht(NetworkRoundBatchMixin, Dht):
         """Run the Chord join protocol for a new peer called *name*."""
         if name in self._nodes:
             raise ReproError(f"peer {name!r} already in the ring")
-        node = ChordNode(name, self.network)
+        node = ChordNode(name, self.network, encoded=self.encoded_storage)
         self._nodes[name] = node
         others = [n for n in self._nodes.values() if n.name != name]
         if not others:
@@ -471,7 +480,8 @@ class ChordDht(NetworkRoundBatchMixin, Dht):
         owner = self._owner(key)
         for target in self._replica_targets(owner):
             value = self.network.rpc(
-                self._gateway().name, target, "store_get", key
+                self._gateway().name, target, "store_get", key,
+                size_bytes=request_wire_size(key),
             )
             if value is not None:
                 return value
@@ -494,7 +504,8 @@ class ChordDht(NetworkRoundBatchMixin, Dht):
         for target in self._replica_targets(owner):
             self.network.rpc(
                 self._gateway().name, target, "store_put", key, value,
-                size_bytes=estimate_wire_size(value),
+                size_bytes=request_wire_size(key, value),
+                payload_bytes=data_wire_size(value),
             )
 
     def _do_remove(self, key: str) -> Any:
@@ -503,10 +514,12 @@ class ChordDht(NetworkRoundBatchMixin, Dht):
         found = False
         for target in self._replica_targets(owner):
             if self.network.rpc(
-                self._gateway().name, target, "store_contains", key
+                self._gateway().name, target, "store_contains", key,
+                size_bytes=request_wire_size(key),
             ):
                 value = self.network.rpc(
-                    self._gateway().name, target, "store_remove", key
+                    self._gateway().name, target, "store_remove", key,
+                    size_bytes=request_wire_size(key),
                 )
                 if not found:
                     removed = value
@@ -538,7 +551,8 @@ class ChordDht(NetworkRoundBatchMixin, Dht):
         owner = self._owner(key)
         return any(
             self.network.rpc(
-                self._gateway().name, target, "store_contains", key
+                self._gateway().name, target, "store_contains", key,
+                size_bytes=request_wire_size(key),
             )
             for target in self._replica_targets(owner)
         )

@@ -21,7 +21,7 @@ from collections.abc import Iterator
 from typing import Any
 
 from repro.common.errors import DhtKeyError, ReproError
-from repro.dht.api import Dht, estimate_wire_size
+from repro.dht.api import Dht, data_wire_size, request_wire_size
 from repro.dht.batching import NetworkRoundBatchMixin
 from repro.dht.hashing import key_digest, node_id_from_name, xor_distance
 from repro.dht.storage import PeerStore
@@ -342,24 +342,28 @@ class KademliaDht(NetworkRoundBatchMixin, Dht):
     def _do_get(self, key: str) -> Any | None:
         owner = self._owner(key)
         return self.network.rpc(
-            self._gateway().name, owner.name, "store_get", key
+            self._gateway().name, owner.name, "store_get", key,
+            size_bytes=request_wire_size(key),
         )
 
     def _do_put(self, key: str, value: Any) -> None:
         owner = self._owner(key)
         self.network.rpc(
             self._gateway().name, owner.name, "store_put", key, value,
-            size_bytes=estimate_wire_size(value),
+            size_bytes=request_wire_size(key, value),
+            payload_bytes=data_wire_size(value),
         )
 
     def _do_remove(self, key: str) -> Any:
         owner = self._owner(key)
         if not self.network.rpc(
-            self._gateway().name, owner.name, "store_contains", key
+            self._gateway().name, owner.name, "store_contains", key,
+            size_bytes=request_wire_size(key),
         ):
             raise DhtKeyError(f"key {key!r} does not exist")
         return self.network.rpc(
-            self._gateway().name, owner.name, "store_remove", key
+            self._gateway().name, owner.name, "store_remove", key,
+            size_bytes=request_wire_size(key),
         )
 
     def rewrite_local(self, key: str, value: Any) -> None:
@@ -377,5 +381,6 @@ class KademliaDht(NetworkRoundBatchMixin, Dht):
     def _do_contains(self, key: str) -> bool:
         owner = self._owner(key)
         return self.network.rpc(
-            self._gateway().name, owner.name, "store_contains", key
+            self._gateway().name, owner.name, "store_contains", key,
+            size_bytes=request_wire_size(key),
         )

@@ -2,11 +2,39 @@
 
 from __future__ import annotations
 
+import pickle
 from collections.abc import Iterator
 from typing import Any
 
 from repro.common.errors import DhtKeyError
 from repro.dht.hashing import key_digest
+
+
+class EncodedValue:
+    """One stored object held as its pickled wire bytes.
+
+    The frame a bucket travels in (:meth:`LeafBucket.__reduce__` embeds
+    the codec encoding) is exactly what an encoded store keeps, so
+    churn handoff moves these byte blobs — not live object graphs.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+
+    @classmethod
+    def encode(cls, value: Any) -> "EncodedValue":
+        return cls(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def decode(self) -> Any:
+        return pickle.loads(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"EncodedValue({len(self.data)} bytes)"
 
 
 class PeerStore:
@@ -15,11 +43,24 @@ class PeerStore:
     Keys are stored together with their 160-bit digests, so handoff on
     churn (transferring the sub-range of keys a new peer takes over)
     does not re-hash the whole store.
+
+    With ``encoded=True`` every value is kept as its pickled wire bytes
+    (:class:`EncodedValue`) and decoded on access: what lives on the
+    peer, and what :meth:`pop_range` moves during churn, is the same
+    byte string a wire frame would carry.  A plain store accepts
+    :class:`EncodedValue` blobs on ``put`` (a handoff from an encoded
+    peer) and decodes them immediately.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, encoded: bool = False) -> None:
         self._values: dict[str, Any] = {}
         self._digests: dict[str, int] = {}
+        self._encoded = encoded
+
+    @property
+    def encoded(self) -> bool:
+        """True when values are kept as pickled bytes between accesses."""
+        return self._encoded
 
     def __len__(self) -> int:
         return len(self._values)
@@ -28,28 +69,53 @@ class PeerStore:
         return key in self._values
 
     def get(self, key: str) -> Any | None:
-        return self._values.get(key)
+        value = self._values.get(key)
+        if isinstance(value, EncodedValue):
+            return value.decode()
+        return value
 
     def put(self, key: str, value: Any) -> None:
         if key not in self._digests:
             self._digests[key] = key_digest(key)
+        if self._encoded:
+            if not isinstance(value, EncodedValue):
+                value = EncodedValue.encode(value)
+        elif isinstance(value, EncodedValue):
+            value = value.decode()
         self._values[key] = value
 
     def remove(self, key: str) -> Any:
         if key not in self._values:
             raise DhtKeyError(f"key {key!r} not stored on this peer")
         self._digests.pop(key, None)
-        return self._values.pop(key)
+        value = self._values.pop(key)
+        if isinstance(value, EncodedValue):
+            return value.decode()
+        return value
 
     def items(self) -> Iterator[tuple[str, Any]]:
-        yield from self._values.items()
+        for key, value in self._values.items():
+            if isinstance(value, EncodedValue):
+                yield key, value.decode()
+            else:
+                yield key, value
 
     def digest_of(self, key: str) -> int:
-        return self._digests[key]
+        try:
+            return self._digests[key]
+        except KeyError:
+            raise DhtKeyError(
+                f"key {key!r} not stored on this peer"
+            ) from None
 
     def pop_range(self, predicate) -> list[tuple[str, Any]]:
         """Remove and return every (key, value) whose digest satisfies
-        *predicate*; used for key handoff during churn."""
+        *predicate*; used for key handoff during churn.
+
+        On an encoded store the values handed off are the raw
+        :class:`EncodedValue` blobs — churn moves bytes, and the
+        receiving store's ``put`` decides whether to keep or decode
+        them."""
         moved = [
             (key, value)
             for key, value in self._values.items()

@@ -34,6 +34,20 @@ class RpcError(NodeUnreachableError):
     """An RPC failed to reach its destination (crash, drop, partition)."""
 
 
+#: result -> (reply_size_bytes, reply_payload_bytes).  Installed by
+#: :func:`repro.dht.api.install_wire_model` (ultimately the codec in
+#: :mod:`repro.core.codec`); the default prices replies at zero, the
+#: pre-codec behaviour.  A module-level hook rather than an import so
+#: the net layer stays below dht/core in the dependency graph.
+_reply_cost_model = None
+
+
+def install_reply_cost_model(model) -> None:
+    """Set the function pricing RPC replies for byte accounting."""
+    global _reply_cost_model
+    _reply_cost_model = model
+
+
 class MessageRound:
     """Latency bookkeeping for one parallel round of RPC chains.
 
@@ -154,6 +168,7 @@ class SimNetwork:
         method: str,
         *args: Any,
         size_bytes: int = 0,
+        payload_bytes: int = 0,
         **kwargs: Any,
     ) -> Any:
         """Invoke ``handle_rpc(method, *args, **kwargs)`` on peer *dst*.
@@ -181,10 +196,16 @@ class SimNetwork:
             raise RpcError(f"message {src!r} -> {dst!r} dropped")
 
         request = Message(src, dst, method, (args, kwargs), size_bytes)
-        self.stats.record_message(method, size_bytes)
+        self.stats.record_message(method, size_bytes, payload=payload_bytes)
         handler = self._handlers[dst]
         result = handler.handle_rpc(request)
-        self.stats.record_message(method + ":reply", 0)
+        if _reply_cost_model is None:
+            reply_size = reply_payload = 0
+        else:
+            reply_size, reply_payload = _reply_cost_model(result)
+        self.stats.record_message(
+            method + ":reply", reply_size, payload=reply_payload
+        )
         round_trip = self._latency.delay(src, dst) + self._latency.delay(dst, src)
         if self._round is not None:
             self._round.add_latency(round_trip)

@@ -19,6 +19,7 @@ class NetworkStats:
 
     messages: int = 0
     bytes_sent: int = 0
+    payload_bytes: int = 0
     dropped: int = 0
     rpc_calls: int = 0
     rounds: int = 0
@@ -27,12 +28,28 @@ class NetworkStats:
     critical_path_latency: float = 0.0
     wall_seconds: float = 0.0
     per_type: dict[str, int] = field(default_factory=dict)
+    bytes_per_type: dict[str, int] = field(default_factory=dict)
 
-    def record_message(self, msg_type: str, size_bytes: int) -> None:
-        """Account one delivered message of *msg_type*."""
+    def record_message(
+        self, msg_type: str, size_bytes: int, payload: int = 0
+    ) -> None:
+        """Account one delivered message of *msg_type*.
+
+        *size_bytes* is the full modelled message (framing included);
+        *payload* is the data-plane portion — encoded record bytes, per
+        the shared codec — so experiments can separate goodput from
+        protocol overhead.  ``bytes_per_type`` keeps the same split per
+        message type, which is what lets a simulated overlay's
+        data-plane traffic be compared against a wire runtime that
+        performs no overlay routing.
+        """
         self.messages += 1
         self.bytes_sent += size_bytes
+        self.payload_bytes += payload
         self.per_type[msg_type] = self.per_type.get(msg_type, 0) + 1
+        self.bytes_per_type[msg_type] = (
+            self.bytes_per_type.get(msg_type, 0) + size_bytes
+        )
 
     def record_drop(self) -> None:
         """Account one injected message drop."""

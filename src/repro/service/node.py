@@ -31,7 +31,7 @@ from collections.abc import Iterator, Sequence
 from typing import TYPE_CHECKING, Any
 
 from repro.common.errors import NodeUnreachableError, ReproError
-from repro.dht.api import BatchFailure, Dht
+from repro.dht.api import BatchFailure, Dht, data_wire_size
 from repro.dht.peer import HashRing, KeyValuePeer
 from repro.net.stats import NetworkStats
 from repro.service.wire import (
@@ -408,7 +408,11 @@ class ServiceDht(Dht):
         request_id = next(self._request_ids)
         frame_bytes = encode_request(op, request_id, key, value)
         stats.record_rpc()
-        stats.record_message(op.name.lower(), frame_wire_cost(op, key, value))
+        stats.record_message(
+            op.name.lower(),
+            frame_wire_cost(op, key, value),
+            payload=data_wire_size(value),
+        )
         if self._transport_kind == "tcp":
             reply = await self._channels[actor.peer.name].call(
                 frame_bytes, request_id
@@ -418,6 +422,7 @@ class ServiceDht(Dht):
         stats.record_message(
             op.name.lower() + ":reply",
             frame_wire_cost(reply.op, "", reply.body),
+            payload=data_wire_size(reply.body),
         )
         if reply.op is Op.REPLY_ERR:
             raise rebuild_error(reply.body)

@@ -197,12 +197,11 @@ class FrameDecoder:
 def frame_wire_cost(op: Op, key: str = "", value: Any = None) -> int:
     """Modelled on-the-wire size of one message, in bytes.
 
-    Header plus the key's own bytes plus the value's record-based
-    estimate — the accounting the simulated substrates already charge
-    via :func:`~repro.dht.api.estimate_wire_size`, applied to the real
-    protocol so ``bytes_sent`` is comparable across runtimes.
+    Header plus the key's own bytes plus the value's codec size — the
+    same :func:`~repro.dht.api.estimate_wire_size` accounting the
+    simulated substrates charge (exact encoded bytes for record-bearing
+    payloads, one envelope for control payloads), applied to the real
+    protocol so ``bytes_sent`` for a trace agrees between a simulated
+    and a TCP run.
     """
-    cost = HEADER.size + len(key.encode())
-    if value is not None:
-        cost += estimate_wire_size(value)
-    return cost
+    return HEADER.size + len(key.encode()) + estimate_wire_size(value)

@@ -132,22 +132,20 @@ class TestKademliaJoinFirstNode:
 
 
 class TestWireByteAccounting:
-    def test_store_puts_account_bytes(self):
+    def test_store_puts_account_codec_bytes(self):
         from repro.core.bucket import LeafBucket
+        from repro.core.codec import encoded_bucket_size
         from repro.core.records import Record
-        from repro.dht.api import (
-            ENVELOPE_WIRE_BYTES,
-            RECORD_WIRE_BYTES,
-            estimate_wire_size,
-        )
+        from repro.dht.api import ENVELOPE_WIRE_BYTES, estimate_wire_size
 
         bucket = LeafBucket("001", 2)
         bucket.add(Record((0.5, 0.5)))
         bucket.add(Record((0.6, 0.6)))
-        assert estimate_wire_size(bucket) == (
-            ENVELOPE_WIRE_BYTES + 2 * RECORD_WIRE_BYTES
-        )
+        # Record-bearing payloads are priced at their exact encoded
+        # size — the same bytes a wire frame would carry.
+        assert estimate_wire_size(bucket) == encoded_bucket_size(bucket)
         assert estimate_wire_size("plain") == ENVELOPE_WIRE_BYTES
+        assert estimate_wire_size(None) == 0
 
     def test_network_bytes_grow_with_bucket_size(self):
         from repro.core.bucket import LeafBucket
@@ -161,4 +159,6 @@ class TestWireByteAccounting:
         for i in range(50):
             big.add(Record((i / 100.0, 0.5)))
         dht.put("b", big)
-        assert dht.network.stats.bytes_sent - bytes_small > 50 * 30
+        # 50 extra records at dims * 8 coordinate bytes each; routing
+        # variance between the two keys stays far below that.
+        assert dht.network.stats.bytes_sent - bytes_small > 50 * 8

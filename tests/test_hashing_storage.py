@@ -15,7 +15,7 @@ from repro.dht.hashing import (
     ring_distance,
     xor_distance,
 )
-from repro.dht.storage import PeerStore
+from repro.dht.storage import EncodedValue, PeerStore
 
 
 class TestDigests:
@@ -107,3 +107,97 @@ class TestPeerStore:
         assert len(moved) + len(store) == 20
         for key, _ in moved:
             assert key not in store
+
+    def test_pop_range_wrapping_interval(self):
+        """Churn handoff with a digest range that wraps past zero.
+
+        A joining peer whose predecessor sits near the top of the ring
+        takes over ``(lo, hi]`` with ``lo > hi``; the handoff predicate
+        is :func:`ring_between_right_inclusive`, which must select keys
+        on *both* sides of the wrap point.
+        """
+        store = PeerStore()
+        keys = [f"wrap-{index}" for index in range(64)]
+        for key in keys:
+            store.put(key, key.upper())
+        digests = sorted(key_digest(key) for key in keys)
+        # Pick bounds so the wrapped interval covers the lowest and
+        # highest digests but excludes the middle of the ring.
+        lo = digests[-8]  # high end of the ring: interval starts here...
+        hi = digests[7]  # ...wraps through 0, ends at the low end.
+        assert lo > hi, "interval must wrap for this test to bite"
+        moved = store.pop_range(
+            lambda digest: ring_between_right_inclusive(digest, lo, hi)
+        )
+        expected = {
+            key
+            for key in keys
+            if ring_between_right_inclusive(key_digest(key), lo, hi)
+        }
+        assert {key for key, _ in moved} == expected
+        # Both sides of the wrap point are represented.
+        assert any(key_digest(key) > lo for key in expected)
+        assert any(key_digest(key) <= hi for key in expected)
+        for key, value in moved:
+            assert key not in store
+            assert value == key.upper()
+        assert len(store) == len(keys) - len(moved)
+
+    def test_pop_range_then_digest_of_raises_dht_error(self):
+        store = PeerStore()
+        store.put("gone", 1)
+        store.pop_range(lambda digest: True)
+        with pytest.raises(DhtKeyError):
+            store.digest_of("gone")
+
+    def test_digest_of_after_remove_raises_dht_error(self):
+        """A removed key must raise the domain error, not bare KeyError."""
+        store = PeerStore()
+        store.put("k", 1)
+        store.remove("k")
+        with pytest.raises(DhtKeyError):
+            store.digest_of("k")
+
+    def test_digest_of_missing_raises_dht_error(self):
+        with pytest.raises(DhtKeyError):
+            PeerStore().digest_of("never-stored")
+
+
+class TestEncodedPeerStore:
+    def test_values_held_as_bytes_decoded_on_access(self):
+        store = PeerStore(encoded=True)
+        assert store.encoded
+        store.put("k", {"payload": [1, 2, 3]})
+        assert isinstance(store._values["k"], EncodedValue)
+        assert store.get("k") == {"payload": [1, 2, 3]}
+        assert dict(store.items()) == {"k": {"payload": [1, 2, 3]}}
+        assert store.remove("k") == {"payload": [1, 2, 3]}
+
+    def test_pop_range_hands_off_raw_blobs(self):
+        """Churn moves bytes: an encoded store's handoff list carries
+        the EncodedValue blobs themselves, not decoded objects."""
+        source = PeerStore(encoded=True)
+        for index in range(8):
+            source.put(f"k-{index}", index * 10)
+        moved = source.pop_range(lambda digest: True)
+        assert moved and all(
+            isinstance(value, EncodedValue) for _, value in moved
+        )
+
+    def test_plain_store_decodes_handoff_blobs(self):
+        source = PeerStore(encoded=True)
+        source.put("k", ("tuple", 42))
+        [(key, blob)] = source.pop_range(lambda digest: True)
+        plain = PeerStore()
+        plain.put(key, blob)
+        assert plain._values["k"] == ("tuple", 42)
+        assert plain.get("k") == ("tuple", 42)
+
+    def test_encoded_store_keeps_handoff_blobs(self):
+        source = PeerStore(encoded=True)
+        source.put("k", ("tuple", 42))
+        [(key, blob)] = source.pop_range(lambda digest: True)
+        target = PeerStore(encoded=True)
+        target.put(key, blob)
+        assert target._values["k"] is blob
+        assert target.get("k") == ("tuple", 42)

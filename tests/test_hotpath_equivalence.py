@@ -294,16 +294,26 @@ class TestColumnarMatching:
             query = _random_query(rng, dims)
             assert bucket.matching(query) == bucket.matching_naive(query)
 
-    def test_staleness_backstop_on_direct_mutation(self, rng):
-        # External code that appends to .records directly (bulk load
-        # plumbing, tests) must still get correct answers via the
-        # count backstop.
-        bucket = LeafBucket(root_label(2), 2)
-        for record in _random_records(rng, bucket.region, 2, 40):
-            bucket.add(record)
+    @pytest.mark.parametrize("kind", ["columnar", "numpy"])
+    def test_generation_counter_invalidates_equal_count_swap(self, kind):
+        # Regression for the old count backstop: remove one record and
+        # add a different one — the count is unchanged, so a store
+        # keyed on count would keep serving the stale snapshot.  The
+        # generation counter bumps on *every* mutation.
+        bucket = LeafBucket(root_label(2), 2, store=kind)
+        old = Record((0.25, 0.25), "old")
+        keeper = Record((0.75, 0.75), "keeper")
+        bucket.add(old)
+        bucket.add(keeper)
         everything = Region((0.0, 0.0), (1.0, 1.0))
-        assert bucket.matching(everything) == bucket.records
-        bucket.records.append(Record((0.5, 0.5), "direct"))
+        assert bucket.matching(everything) == [old, keeper]
+        generation = bucket.store.generation
+        new = Record((0.5, 0.5), "new")
+        bucket.remove(old)
+        bucket.add(new)
+        assert bucket.load == 2  # equal count: the backstop's blind spot
+        assert bucket.store.generation == generation + 2
+        assert bucket.matching(everything) == [keeper, new]
         assert bucket.matching(everything) == bucket.matching_naive(everything)
 
     @pytest.mark.parametrize("dims", DIMS)
@@ -322,6 +332,75 @@ class TestColumnarMatching:
     def test_empty_store(self):
         store = ColumnStore([], 2, 0)
         assert store.matching_positions((0.0, 0.0), (1.0, 1.0)) == []
+
+
+# ----------------------------------------------------------------------
+# Record-store backends vs the list oracle, across dims and overlays
+# ----------------------------------------------------------------------
+
+
+STORE_BACKENDS = ["list", "columnar", "numpy"]
+
+
+class TestStoreBackendEquivalence:
+    """Every registered backend is a bit-identical re-expression of the
+    naive record list — at the bucket level across 1–4 dimensions, and
+    end-to-end through every overlay."""
+
+    @pytest.mark.parametrize("kind", STORE_BACKENDS)
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_bucket_matching_identical_to_list_store(self, kind, dims, rng):
+        for _ in range(6):
+            leaves = random_tree_leaves(rng, dims, max_depth=6)
+            label = rng.choice(leaves)
+            oracle = LeafBucket(label, dims, store="list")
+            bucket = LeafBucket(label, dims, store=kind)
+            for record in _random_records(
+                rng, bucket.region, dims, rng.randrange(0, 120)
+            ):
+                oracle.add(record)
+                bucket.add(record)
+            for _ in range(6):
+                query = _random_query(rng, dims)
+                got = bucket.matching(query)
+                assert got == oracle.matching(query)
+                assert got == bucket.matching_naive(query)
+                # Insertion order, not just set equality.
+                positions = [oracle.records.index(r) for r in got]
+                assert positions == sorted(positions)
+
+    @pytest.mark.parametrize("kind", STORE_BACKENDS)
+    @pytest.mark.parametrize("overlay", ["chord", "kademlia", "pastry"])
+    def test_index_answers_identical_across_overlays(
+        self, kind, overlay, rng
+    ):
+        from repro.common.config import IndexConfig
+        from repro.core.index import MLightIndex
+        from repro.runtime import RuntimeConfig, create_dht
+
+        points = [
+            tuple(rng.random() for _ in range(2)) for _ in range(250)
+        ]
+        queries = [_random_query(rng, 2) for _ in range(8)]
+
+        def answers(store_kind):
+            config = IndexConfig(
+                dims=2, split_threshold=25, merge_threshold=12,
+                store=store_kind,
+            )
+            dht = create_dht(
+                RuntimeConfig(kind="sim", overlay=overlay, n_peers=6)
+            )
+            index = MLightIndex(dht, config)
+            index.insert_many(points)
+            return [
+                [r.key for r in index.range_query(
+                    (q.lows, q.highs)
+                ).records]
+                for q in queries
+            ]
+
+        assert answers(kind) == answers("list")
 
 
 # ----------------------------------------------------------------------

@@ -12,7 +12,7 @@ from repro.common.errors import (
     NodeUnreachableError,
     ReproError,
 )
-from repro.dht.api import ENVELOPE_WIRE_BYTES, RECORD_WIRE_BYTES
+from repro.dht.api import ENVELOPE_WIRE_BYTES
 from repro.dht.peer import HashRing, KeyValuePeer
 from repro.dht.retry import RetryingDht
 from repro.dht.faults import FaultPlan, FaultyDht
@@ -95,17 +95,22 @@ class TestWireProtocol:
                 )
             assert [f.request_id for f in frames] == list(range(20))
 
-    def test_wire_cost_uses_record_accounting(self):
-        class Envelope:
-            def __init__(self, n):
-                self.records = [object()] * n
+    def test_wire_cost_uses_codec_accounting(self):
+        from repro.core.bucket import LeafBucket
+        from repro.core.codec import encoded_bucket_size
+        from repro.core.records import Record
 
-        cost = frame_wire_cost(Op.PUT, "leaf", Envelope(5))
+        bucket = LeafBucket("001", 2)
+        for i in range(5):
+            bucket.add(Record((i / 10.0, 0.5)))
+        cost = frame_wire_cost(Op.PUT, "leaf", bucket)
+        # Record-bearing payloads are priced at their exact codec size;
+        # a non-record payload costs one envelope.
         assert cost == (
-            HEADER.size
-            + len(b"leaf")
-            + ENVELOPE_WIRE_BYTES
-            + 5 * RECORD_WIRE_BYTES
+            HEADER.size + len(b"leaf") + encoded_bucket_size(bucket)
+        )
+        assert frame_wire_cost(Op.PUT, "leaf", "opaque") == (
+            HEADER.size + len(b"leaf") + ENVELOPE_WIRE_BYTES
         )
 
     def test_serve_request_never_raises(self):

@@ -49,6 +49,9 @@ class TestRegistration:
 
 class TestAccounting:
     def test_messages_and_bytes_counted(self):
+        import repro.core  # noqa: F401 (installs the codec wire model)
+        from repro.dht.api import reply_wire_size
+
         net = SimNetwork()
         net.register("b", Echo())
         net.rpc("a", "b", "put", size_bytes=100)
@@ -56,7 +59,11 @@ class TestAccounting:
         stats = net.stats.snapshot()
         assert stats["rpc_calls"] == 2
         assert stats["messages"] == 4  # request + reply each
-        assert stats["bytes_sent"] == 100
+        # Requests charge their declared size; replies are priced by
+        # the installed codec model (an Echo reply is a plain envelope).
+        echo_reply = ("echo", "put", (), {})
+        assert stats["bytes_sent"] == 100 + 2 * reply_wire_size(echo_reply)
+        assert stats["payload_bytes"] == 0  # no record-bearing payloads
         assert net.stats.per_type["put"] == 1
 
     def test_clock_advances_by_round_trip(self):
