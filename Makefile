@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-faults trace-smoke bench bench-smoke bench-hotpath bench-dataplane bench-full bench-service experiments experiments-full clean
+.PHONY: install lint test test-faults trace-smoke bench bench-smoke bench-hotpath bench-dataplane bench-adaptive bench-full bench-service experiments experiments-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -32,6 +32,10 @@ bench-hotpath:
 
 bench-dataplane:
 	REPRO_BENCH_SIZE=12000 REPRO_BENCH_MILLION=1 $(PYTHON) -m pytest benchmarks/test_dataplane.py
+
+bench-adaptive:
+	REPRO_BENCH_SIZE=12000 $(PYTHON) -m pytest benchmarks/test_adaptive.py
+	$(PYTHON) -m pytest tests/test_adaptive.py
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,92 @@
+"""Adaptive-plane benchmark — E13, the skewed-read relief gate.
+
+Runs :mod:`repro.experiments.skew_experiment` at benchmark scale: a
+Zipf(1.1) open-loop request stream against an 8-peer Chord ring under
+queueing latency, once with the index as-is and once with
+``IndexConfig(adaptive=...)`` enabling hotspot replication and learned
+routing shortcuts.
+
+The CI gate: the adaptive mode must improve **both** p99 lookup
+latency and max-peer query load by at least ``RELIEF_GATE`` (2x) over
+the non-adaptive baseline, while returning bit-identical answers
+(equal digests) at recall 1.0 — adaptivity must be a pure performance
+layer, never a correctness trade.
+
+Artefacts: ``results/BENCH_adaptive.json`` (machine-readable samples
+and ratios) and ``results/e13_adaptive_skew.txt`` (the rendered E13
+table).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments import skew_experiment
+
+from .conftest import bench_size, publish
+
+#: Both relief ratios (p99 latency, max-peer load) must clear this.
+RELIEF_GATE = 2.0
+
+#: Below this scale the tree is too small for stable queueing numbers;
+#: the equivalence assertions still run, the relief gate does not.
+GATE_MIN_SIZE = 2000
+
+
+def _n_ops() -> int:
+    """Stream length scaled so the measured window dominates warm-up."""
+    size = bench_size()
+    if size >= 100_000:
+        return 8000
+    if size >= 8000:
+        return 4000
+    return 2000
+
+
+@pytest.mark.smoke
+def test_e13_adaptive_skew_relief(dataset, paper_config):
+    """E13 with the ISSUE's acceptance gate."""
+    samples = skew_experiment.run_skew_experiment(
+        dataset, paper_config, n_ops=_n_ops()
+    )
+    baseline, adaptive = samples
+    publish("e13_adaptive_skew.txt", skew_experiment.render(samples))
+
+    p99_ratio = baseline.latency["p99"] / max(adaptive.latency["p99"], 1e-9)
+    load_ratio = baseline.max_peer_load / max(adaptive.max_peer_load, 1)
+    document = {
+        "bench_size": bench_size(),
+        "n_ops": _n_ops(),
+        "skew": baseline.skew,
+        "gate": RELIEF_GATE,
+        "p99_ratio": round(p99_ratio, 2),
+        "max_peer_load_ratio": round(load_ratio, 2),
+        "answers_equal": baseline.answers_digest == adaptive.answers_digest,
+        "samples": [asdict(sample) for sample in samples],
+    }
+    publish("BENCH_adaptive.json", json.dumps(document, indent=2))
+
+    # Correctness is unconditional: same answers, full recall, and the
+    # plane must actually have engaged (otherwise the ratios measure
+    # noise, not relief).
+    assert baseline.answers_digest == adaptive.answers_digest, (
+        "adaptive answers diverged from the baseline"
+    )
+    assert baseline.recall == 1.0 and adaptive.recall == 1.0
+    assert adaptive.shortcut_hits > 0 and adaptive.promotions > 0
+
+    if bench_size() < GATE_MIN_SIZE:
+        return
+    assert p99_ratio >= RELIEF_GATE, (
+        f"adaptive p99 {adaptive.latency['p99']:.1f} is only "
+        f"{p99_ratio:.2f}x better than baseline "
+        f"{baseline.latency['p99']:.1f} (gate {RELIEF_GATE}x)"
+    )
+    assert load_ratio >= RELIEF_GATE, (
+        f"adaptive max-peer load {adaptive.max_peer_load} is only "
+        f"{load_ratio:.2f}x better than baseline "
+        f"{baseline.max_peer_load} (gate {RELIEF_GATE}x)"
+    )

@@ -28,6 +28,7 @@ defining modules (or use the factory) instead.
 
 import warnings
 
+from repro.adaptive import AdaptiveConfig
 from repro.common.config import IndexConfig
 from repro.common.errors import ReproError
 from repro.common.geometry import Point, Region, as_region, unit_region
@@ -84,6 +85,7 @@ def __getattr__(name: str):
 __version__ = "1.1.0"
 
 __all__ = [
+    "AdaptiveConfig",
     "IndexConfig",
     "ReproError",
     "Point",

@@ -1,0 +1,41 @@
+"""Adaptive read plane: hotspot detection, replication, shortcuts.
+
+Selected per index with ``IndexConfig(adaptive=AdaptiveConfig(...))``;
+``adaptive=None`` (the default) builds none of it and the index runs
+bit-identically to a pre-adaptive build.  See
+:mod:`repro.adaptive.plane` for the composition.
+"""
+
+from repro.adaptive.config import AdaptiveConfig
+from repro.adaptive.detector import (
+    READS_SOURCE,
+    BucketReadCounters,
+    HotspotDetector,
+)
+from repro.adaptive.plane import AdaptiveDht, AdaptiveStats
+from repro.adaptive.replication import (
+    REPLICA_SEP,
+    ReplicaDirectory,
+    is_replica_key,
+    primary_of,
+    replica_key,
+    replica_keys,
+)
+from repro.adaptive.shortcuts import DEFAULT_SHORTCUT_CAPACITY, ShortcutTable
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveDht",
+    "AdaptiveStats",
+    "BucketReadCounters",
+    "DEFAULT_SHORTCUT_CAPACITY",
+    "HotspotDetector",
+    "READS_SOURCE",
+    "REPLICA_SEP",
+    "ReplicaDirectory",
+    "ShortcutTable",
+    "is_replica_key",
+    "primary_of",
+    "replica_key",
+    "replica_keys",
+]

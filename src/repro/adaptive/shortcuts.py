@@ -1,0 +1,121 @@
+"""Client-side learned routing shortcuts.
+
+A routed overlay pays O(log N) hops — and, with a client gateway, a
+routing-RPC fan-in on that gateway — for every read, even of a key the
+client resolved moments ago.  The :class:`ShortcutTable` is the learned
+complement of the :class:`~repro.core.cache.LeafCache`: where the leaf
+cache remembers *which label* covers a region (cutting probe count),
+the shortcut table remembers *which peer* owns a resolved key (cutting
+overlay hops for the probes that remain), so repeat lookups on hot
+regions go straight to the owner via
+:meth:`~repro.dht.api.Dht.get_direct`.
+
+The discipline is identical to the leaf cache's:
+
+* an entry is only ever a *hint* — the direct read it steers is a
+  metered DHT-get, and the caller trusts nothing but the outcome: a
+  ``None`` (the peer no longer holds the key) or an unreachable peer
+  evicts the entry and the read falls back to the routed path, so
+  staleness costs one extra probe, never a wrong answer;
+* the table is LRU-bounded (``capacity`` entries);
+* :meth:`bump_generation` invalidates every current entry in O(1) —
+  the same wholesale-churn escape hatch as
+  :meth:`~repro.core.cache.LeafCache.bump_generation`, with the same
+  lazy per-access eviction of stale-generation entries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.errors import ReproError
+
+#: Default number of key -> peer entries a client remembers.
+DEFAULT_SHORTCUT_CAPACITY = 512
+
+
+class ShortcutTable:
+    """LRU-bounded map of resolved DHT keys to their owner peers.
+
+    A pure data structure, like the leaf cache: it issues no DHT
+    traffic and keeps no cost counters of its own (the plane meters
+    shortcut outcomes on its own stats).
+    """
+
+    __slots__ = ("_capacity", "_entries", "_generation")
+
+    def __init__(self, capacity: int = DEFAULT_SHORTCUT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ReproError(
+                f"shortcut capacity must be >= 1, got {capacity}"
+            )
+        self._capacity = capacity
+        self._entries: OrderedDict[str, tuple[str, int]] = OrderedDict()
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries retained."""
+        return self._capacity
+
+    @property
+    def generation(self) -> int:
+        """Current generation tag; bumping it invalidates all entries."""
+        return self._generation
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        entry = self._entries.get(key)
+        return entry is not None and entry[1] == self._generation
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def observe(self, key: str, peer: str) -> None:
+        """Record *peer* as the resolved owner of *key* (most recent)."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = (peer, self._generation)
+        while len(entries) > self._capacity:
+            entries.popitem(last=False)
+
+    def forget(self, key: str) -> None:
+        """Drop *key* (a probe proved the entry stale or dead)."""
+        self._entries.pop(key, None)
+
+    def bump_generation(self) -> None:
+        """Invalidate every current entry in O(1)."""
+        self._generation += 1
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Proposals
+    # ------------------------------------------------------------------
+
+    def propose(self, key: str) -> str | None:
+        """The learned owner peer for *key*, or None.
+
+        Stale-generation entries are evicted lazily here, mirroring
+        :meth:`~repro.core.cache.LeafCache.propose`.
+        """
+        entries = self._entries
+        entry = entries.get(key)
+        if entry is None:
+            return None
+        peer, tag = entry
+        if tag != self._generation:
+            del entries[key]  # lazy generation invalidation
+            return None
+        entries.move_to_end(key)
+        return peer

@@ -74,6 +74,13 @@ class IndexConfig:
             path is a single ``is None`` check per operation, keeping
             metered and timed behaviour bit-identical to an untraced
             index.
+        adaptive: an :class:`~repro.adaptive.AdaptiveConfig` selecting
+            the adaptive read plane (online hotspot detection, read
+            replication of hot leaf buckets, learned routing
+            shortcuts; :mod:`repro.adaptive`), or ``None`` (the
+            default) for no plane at all — with ``None`` the index is
+            bit-identical, in answers and cost counters, to a build
+            without the plane.
     """
 
     dims: int = 2
@@ -88,6 +95,7 @@ class IndexConfig:
     runtime: str = "sim"
     store: str = "columnar"
     tracing: bool = False
+    adaptive: object | None = None
 
     STRATEGIES = ("threshold", "data-aware")
     EXECUTION_PLANES = ("batched", "sequential")
@@ -139,6 +147,16 @@ class IndexConfig:
         # backend added via register_store is immediately configurable.
         # Imported lazily: repro.common must stay importable below
         # repro.core in the layering.
+        if self.adaptive is not None:
+            # Same lazy-import pattern: repro.common stays at the
+            # bottom of the layering.
+            from repro.adaptive.config import AdaptiveConfig
+
+            if not isinstance(self.adaptive, AdaptiveConfig):
+                raise ReproError(
+                    "adaptive must be an AdaptiveConfig or None, got "
+                    f"{self.adaptive!r}"
+                )
         from repro.core.store import store_backends
 
         if self.store not in store_backends():

@@ -83,8 +83,19 @@ class MLightIndex:
         cache: LeafCache | None = None,
         tracer: Tracer | None = None,
     ) -> None:
-        self._dht = dht
         self._config = config if config is not None else IndexConfig()
+        self._adaptive = None
+        if self._config.adaptive is not None:
+            # Wrap the substrate in the adaptive read plane (hotspot
+            # detection, hot-bucket replication, learned shortcuts)
+            # before anything else sees it, so every engine, cache and
+            # wrapper routes through it.  Imported lazily: the plane is
+            # an optional layer, and core stays importable without it.
+            from repro.adaptive.plane import AdaptiveDht
+
+            self._adaptive = AdaptiveDht(dht, self._config.adaptive)
+            dht = self._adaptive
+        self._dht = dht
         if strategy is None:
             strategy = build_strategy(self._config)
         self._strategy = strategy
@@ -160,6 +171,12 @@ class MLightIndex:
     def dht(self) -> Dht:
         """The underlying DHT (its ``stats`` carry the paper's costs)."""
         return self._dht
+
+    @property
+    def adaptive(self):
+        """The adaptive read plane (:class:`~repro.adaptive.AdaptiveDht`)
+        this index routes through; None when ``config.adaptive`` is."""
+        return self._adaptive
 
     @property
     def strategy(self) -> SplitStrategy:

@@ -309,6 +309,31 @@ class Dht(ABC):
         with tracer.span("dht", "get", key=key):
             return self._do_get(key)
 
+    def get_direct(self, peer: str, key: str) -> Any | None:
+        """Fetch *key* straight from *peer*, skipping overlay routing.
+
+        The primitive behind learned routing shortcuts
+        (:mod:`repro.adaptive`): a client that already resolved a
+        key's owner sends the store-read to that peer in one message
+        instead of re-routing.  The peer answers from its local store
+        only — ``None`` when it does not (or no longer) hold the key,
+        which is exactly the staleness signal the caller needs to
+        evict its hint and fall back to a routed :meth:`get`.  Raises
+        :class:`NodeUnreachableError` when *peer* is gone.
+
+        Metered exactly like :meth:`get` (one DHT-lookup, one get):
+        the saving shortcuts buy is *hops* and routing fan-in, never
+        the per-operation bandwidth measure, so adaptive and plain
+        runs stay comparable on the paper's cost model.
+        """
+        self.stats.lookups += 1
+        self.stats.gets += 1
+        tracer = self.tracer
+        if tracer is None:
+            return self._do_get_direct(peer, key)
+        with tracer.span("dht", "get_direct", key=key, peer=peer):
+            return self._do_get_direct(peer, key)
+
     def put(self, key: str, value: Any, *, records_moved: int = 0) -> None:
         """Store *value* at *key*; one DHT-lookup plus *records_moved*
         records of transfer."""
@@ -473,6 +498,12 @@ class Dht(ABC):
 
     @abstractmethod
     def _do_contains(self, key: str) -> bool: ...
+
+    def _do_get_direct(self, peer: str, key: str) -> Any | None:
+        """Direct store-read at *peer*.  The default falls back to the
+        routed read so every substrate works unmodified; routed
+        substrates override this with a single point-to-point RPC."""
+        return self._do_get(key)
 
     # ------------------------------------------------------------------
     # Batch primitives (unmetered; overridable per substrate)

@@ -487,6 +487,14 @@ class ChordDht(NetworkRoundBatchMixin, Dht):
                 return value
         return None
 
+    def _do_get_direct(self, peer: str, key: str) -> Any | None:
+        # One point-to-point store read, no routing, no hop metering:
+        # this is exactly what a learned shortcut buys.
+        return self.network.rpc(
+            self._gateway().name, peer, "store_get", key,
+            size_bytes=request_wire_size(key),
+        )
+
     def _replica_targets(self, owner: ChordNode) -> list[str]:
         """The owner plus its next ``replication - 1`` live successors."""
         targets = [owner.name]

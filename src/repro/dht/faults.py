@@ -283,6 +283,11 @@ class FaultyDht(Dht):
             return self._stale_read(key)
         return self._inner._do_get(key)
 
+    def _do_get_direct(self, peer: str, key: str) -> Any | None:
+        if self._inject("get", key) == "stale":
+            return self._stale_read(key)
+        return self._inner._do_get_direct(peer, key)
+
     def _do_put(self, key: str, value: Any) -> None:
         self._inject("put", key)
         self._inner._do_put(key, value)

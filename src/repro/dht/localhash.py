@@ -15,7 +15,11 @@ from __future__ import annotations
 from collections.abc import Iterator, Sequence
 from typing import Any
 
-from repro.common.errors import DhtKeyError, ReproError
+from repro.common.errors import (
+    DhtKeyError,
+    NodeUnreachableError,
+    ReproError,
+)
 from repro.dht.api import Dht, _capture, shared_executor
 from repro.dht.peer import HashRing
 from repro.dht.storage import PeerStore
@@ -98,6 +102,12 @@ class LocalDht(Dht):
 
     def _do_contains(self, key: str) -> bool:
         return key in self._store_for(key)
+
+    def _do_get_direct(self, peer: str, key: str) -> Any | None:
+        store = self._stores.get(peer)
+        if store is None:
+            raise NodeUnreachableError(f"peer {peer!r} is not on the ring")
+        return store.get(key)
 
     # ------------------------------------------------------------------
     # Batch primitives: fan the elements out on the shared executor

@@ -401,6 +401,13 @@ class PastryDht(NetworkRoundBatchMixin, Dht):
             size_bytes=request_wire_size(key),
         )
 
+    def _do_get_direct(self, peer: str, key: str) -> Any | None:
+        # One point-to-point store read, no prefix routing.
+        return self.network.rpc(
+            self._gateway().name, peer, "store_get", key,
+            size_bytes=request_wire_size(key),
+        )
+
     def _do_put(self, key: str, value: Any) -> None:
         owner = self._owner(key)
         self.network.rpc(

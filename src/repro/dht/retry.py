@@ -180,6 +180,11 @@ class RetryingDht(Dht):
     def get(self, key: str) -> Any | None:
         return self._with_retries(self._inner.get, key)
 
+    def get_direct(self, peer: str, key: str) -> Any | None:
+        # Retry transient drops; a genuinely dead peer still exhausts
+        # the budget and propagates, so shortcut eviction fires.
+        return self._with_retries(self._inner.get_direct, peer, key)
+
     def put(self, key: str, value: Any, *, records_moved: int = 0) -> None:
         return self._with_retries(
             self._inner.put, key, value, records_moved=records_moved

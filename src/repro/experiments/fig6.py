@@ -8,6 +8,13 @@ per-peer storage and the fraction of empty buckets.
 
 Expected shape (paper): the data-aware strategy lowers load variance
 (~15%) and empty buckets (~35%) at matched tree sizes.
+
+Alongside the paper's storage measures, each grown tree also gets a
+**query balance** measurement: a Zipf-skewed lookup phase counted by an
+observe-only adaptive plane (:mod:`repro.adaptive`), reported as the
+max/mean ratio and Gini coefficient of per-peer *served reads* — the
+load Theorem 6 does not balance, and the adaptive plane exists to
+relieve (E13).
 """
 
 from __future__ import annotations
@@ -15,16 +22,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Sequence
 
+from repro.adaptive.config import AdaptiveConfig
+from repro.adaptive.plane import AdaptiveDht
 from repro.common.config import IndexConfig
 from repro.common.geometry import Point
+from repro.common.rng import derive_seed, make_rng
+from repro.core.index import MLightIndex
 from repro.dht.localhash import LocalDht
 from repro.experiments.harness import build_index
 from repro.experiments.tables import format_table
 from repro.metrics.loadbalance import (
     empty_bucket_fraction,
+    gini_coefficient,
+    max_mean_ratio,
     normalized_load_variance,
+    peer_query_loads,
     peer_record_loads,
 )
+from repro.workloads.traces import zipf_sampler
 
 #: Strategy label -> scheme name.
 FIG6_STRATEGIES = (
@@ -52,11 +67,63 @@ class LoadBalanceSample:
 
 
 @dataclass(frozen=True, slots=True)
+class QueryBalanceSample:
+    """Per-peer *query* load imbalance of one grown tree.
+
+    Measured over a Zipf-skewed lookup phase: ``max_mean`` is the
+    hottest peer's served reads over the mean, ``gini`` the Gini
+    coefficient of per-peer served reads.
+    """
+
+    skew: float
+    queries: int
+    max_mean: float
+    gini: float
+
+
+@dataclass(frozen=True, slots=True)
 class LoadBalanceSeries:
     """One curve of Fig. 6a/6b."""
 
     strategy: str
     samples: tuple[LoadBalanceSample, ...]
+    query: QueryBalanceSample | None = None
+
+
+def measure_query_balance(
+    index,
+    points: Sequence[Point],
+    *,
+    skew: float = 1.1,
+    n_queries: int = 2000,
+    seed: int = 0,
+) -> QueryBalanceSample:
+    """Per-peer query-load imbalance of *index* under skewed lookups.
+
+    Wraps the index's substrate in an observe-only adaptive plane
+    (read counting only: no replication, no shortcuts) behind a second
+    index view over the *same* tree, runs *n_queries* Zipf(*skew*)
+    point lookups through it, and attributes every counted bucket read
+    to the peer that served it.  The measured index is untouched — the
+    plane never writes, and the view index skips bootstrap because the
+    tree already exists.
+    """
+    plane = AdaptiveDht(
+        index.dht,
+        AdaptiveConfig(max_replicas=0, shortcut_capacity=0),
+    )
+    view = MLightIndex(plane, index.config)
+    rng = make_rng(derive_seed(seed, "fig6-query-balance"))
+    sample_rank = zipf_sampler(len(points), skew, rng)
+    for _ in range(n_queries):
+        view.lookup(points[sample_rank()])
+    loads = peer_query_loads(index.dht, plane.read_counts())
+    return QueryBalanceSample(
+        skew=skew,
+        queries=n_queries,
+        max_mean=max_mean_ratio(loads),
+        gini=gini_coefficient(loads),
+    )
 
 
 def run_loadbalance_experiment(
@@ -65,12 +132,16 @@ def run_loadbalance_experiment(
     n_samples: int = 8,
     n_peers: int = 128,
     virtual_nodes: int = 64,
+    query_skew: float = 1.1,
+    n_queries: int = 2000,
 ) -> list[LoadBalanceSeries]:
     """Progressive insertion with periodic balance measurements.
 
     The substrate uses virtual hosts so that per-peer variance measures
     the splitting strategy rather than consistent-hashing arc luck (see
-    EXPERIMENTS.md).
+    EXPERIMENTS.md).  After each tree is fully grown, a skewed lookup
+    phase measures its per-peer *query* balance (see
+    :func:`measure_query_balance`).
     """
     checkpoints = [
         round(len(points) * (index + 1) / n_samples)
@@ -103,7 +174,15 @@ def run_loadbalance_experiment(
                     )
                 )
                 target += 1
-        series.append(LoadBalanceSeries(strategy_name, tuple(samples)))
+        series.append(
+            LoadBalanceSeries(
+                strategy_name,
+                tuple(samples),
+                query=measure_query_balance(
+                    index, points, skew=query_skew, n_queries=n_queries
+                ),
+            )
+        )
     return series
 
 
@@ -123,4 +202,23 @@ def render(series: list[LoadBalanceSeries]) -> str:
         for entry in series
         for sample in entry.samples
     ]
-    return format_table(headers, rows, title="Storage load balance")
+    storage = format_table(headers, rows, title="Storage load balance")
+    query_rows = [
+        [
+            entry.strategy,
+            entry.query.skew,
+            entry.query.queries,
+            entry.query.max_mean,
+            entry.query.gini,
+        ]
+        for entry in series
+        if entry.query is not None
+    ]
+    if not query_rows:
+        return storage
+    query = format_table(
+        ["strategy", "zipf skew", "queries", "max/mean", "gini"],
+        query_rows,
+        title="Query load balance (skewed lookups)",
+    )
+    return storage + "\n" + query

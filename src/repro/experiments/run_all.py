@@ -28,6 +28,7 @@ from repro.experiments import (
     fig7,
     mixed_workload,
     scaling,
+    skew_experiment,
 )
 from repro.experiments.tables import save_csv
 from repro.workloads.queries import point_queries
@@ -143,6 +144,11 @@ def main(argv: list[str] | None = None) -> int:
     print("\n=== Extension E12: recall and retry cost vs fault rate ===")
     print(fault_experiment.render(
         fault_experiment.run_fault_recall(tiny, config, seed=args.seed)
+    ))
+
+    print("\n=== Extension E13: skewed reads and the adaptive plane ===")
+    print(skew_experiment.render(
+        skew_experiment.run_skew_experiment(small, config, seed=args.seed)
     ))
 
     if args.csv_dir:

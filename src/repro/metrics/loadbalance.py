@@ -85,3 +85,32 @@ def peer_record_loads(dht: Dht, key_prefix: str = "ml:") -> list[int]:
         if isinstance(value, LeafBucket):
             loads[dht.peer_of(key)] += value.load
     return list(loads.values())
+
+
+def peer_query_loads(dht: Dht, read_counts: dict[str, int]) -> list[int]:
+    """Reads served per peer, attributing *read_counts* by key owner.
+
+    The query-side complement of :func:`peer_record_loads`: Theorem 6
+    balances what peers *store*, this measures what peers *serve*.
+    *read_counts* maps DHT keys to how many reads each received (the
+    adaptive plane's per-bucket counters, or any equivalent tally);
+    every peer of the DHT appears, peers serving nothing count as zero.
+    """
+    loads = {peer: 0 for peer in dht.peers()}
+    for key, count in read_counts.items():
+        loads[dht.peer_of(key)] += count
+    return list(loads.values())
+
+
+def max_mean_ratio(loads: Sequence[float]) -> float:
+    """``max(loads) / mean(loads)`` — the hotspot factor.
+
+    1.0 for perfectly even loads, ``n`` when one peer of ``n`` serves
+    everything; defined as 0 when every load is zero.
+    """
+    if not loads:
+        raise ReproError("max/mean of an empty load vector is undefined")
+    mean = sum(loads) / len(loads)
+    if mean == 0:
+        return 0.0
+    return max(loads) / mean

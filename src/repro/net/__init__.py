@@ -11,7 +11,12 @@ paper's strictly layered over-DHT design.
 
 from repro.net.stats import NetworkStats
 from repro.net.events import EventScheduler
-from repro.net.latency import LatencyModel, ConstantLatency, UniformLatency
+from repro.net.latency import (
+    LatencyModel,
+    ConstantLatency,
+    QueueingLatency,
+    UniformLatency,
+)
 from repro.net.simnet import SimNetwork, RpcError
 
 __all__ = [
@@ -19,6 +24,7 @@ __all__ = [
     "EventScheduler",
     "LatencyModel",
     "ConstantLatency",
+    "QueueingLatency",
     "UniformLatency",
     "SimNetwork",
     "RpcError",

@@ -206,7 +206,15 @@ class SimNetwork:
         self.stats.record_message(
             method + ":reply", reply_size, payload=reply_payload
         )
-        round_trip = self._latency.delay(src, dst) + self._latency.delay(dst, src)
+        round_tripper = getattr(self._latency, "round_trip", None)
+        if round_tripper is not None:
+            # Stateful models (queueing) price the full round trip in
+            # one call so they can serialize requests per destination.
+            round_trip = round_tripper(src, dst)
+        else:
+            round_trip = self._latency.delay(src, dst) + self._latency.delay(
+                dst, src
+            )
         if self._round is not None:
             self._round.add_latency(round_trip)
         else:

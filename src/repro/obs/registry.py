@@ -209,6 +209,13 @@ class MetricsRegistry:
                 registry.register("net", network.stats)
                 break
             layer = getattr(layer, "inner", None)
+        layer = index.dht
+        while layer is not None:
+            stats = getattr(layer, "adaptive_stats", None)
+            if stats is not None:
+                registry.register("adaptive", stats)
+                break
+            layer = getattr(layer, "inner", None)
         cache = getattr(index, "cache", None)
         if cache is not None:
             registry.register_gauges(

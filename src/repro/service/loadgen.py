@@ -32,7 +32,7 @@ import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.common.config import IndexConfig
@@ -65,6 +65,19 @@ def percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
 
 
+def latency_summary(latencies: list[float]) -> dict[str, float]:
+    """p50/p95/p99/mean/max of *latencies* (seconds), in milliseconds."""
+    ordered = sorted(latencies)
+    summary = {
+        f"p{q}": percentile(ordered, q) * 1000.0 for q in PERCENTILES
+    }
+    summary["mean"] = (
+        sum(ordered) / len(ordered) * 1000.0 if ordered else 0.0
+    )
+    summary["max"] = ordered[-1] * 1000.0 if ordered else 0.0
+    return summary
+
+
 @dataclass(frozen=True, slots=True)
 class LoadReport:
     """One load-generator run, ready for JSON and table rendering."""
@@ -79,6 +92,9 @@ class LoadReport:
     failed: int
     achieved_qps: float
     latency_ms: dict[str, float]
+    latency_ms_by_op: dict[str, dict[str, float]] = field(
+        default_factory=dict
+    )
 
     def achieved_fraction(self) -> float:
         """Achieved over target throughput (the CI sanity gate)."""
@@ -106,9 +122,26 @@ class LoadReport:
             ["mean latency (ms)", f"{self.latency_ms['mean']:.3f}"],
             ["max latency (ms)", f"{self.latency_ms['max']:.3f}"],
         ]
-        return format_table(
+        overall = format_table(
             headers, rows, title="service-plane open-loop load"
         )
+        if not self.latency_ms_by_op:
+            return overall
+        op_rows = [
+            [
+                kind,
+                f"{summary['p50']:.3f}",
+                f"{summary['p95']:.3f}",
+                f"{summary['p99']:.3f}",
+            ]
+            for kind, summary in sorted(self.latency_ms_by_op.items())
+        ]
+        by_op = format_table(
+            ["operation", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+            op_rows,
+            title="latency by operation type",
+        )
+        return overall + "\n" + by_op
 
 
 def run_load(
@@ -137,6 +170,7 @@ def run_load(
     interval = 1.0 / target_qps
     mutation_lock = threading.Lock()
     latencies: list[float] = []
+    latencies_by_kind: dict[str, list[float]] = {}
     failures = [0]
     tally_lock = threading.Lock()
     last_done = [0.0]
@@ -155,6 +189,9 @@ def run_load(
         done = time.perf_counter()
         with tally_lock:
             latencies.append(done - scheduled)
+            latencies_by_kind.setdefault(operation.kind, []).append(
+                done - scheduled
+            )
             last_done[0] = max(last_done[0], done)
 
     pool = ThreadPoolExecutor(
@@ -173,14 +210,7 @@ def run_load(
 
     completed = len(latencies)
     span = max(last_done[0] - started, 1e-9)
-    ordered = sorted(latencies)
-    latency_ms = {
-        f"p{q}": percentile(ordered, q) * 1000.0 for q in PERCENTILES
-    }
-    latency_ms["mean"] = (
-        sum(ordered) / completed * 1000.0 if completed else 0.0
-    )
-    latency_ms["max"] = ordered[-1] * 1000.0 if ordered else 0.0
+    latency_ms = latency_summary(latencies)
     return LoadReport(
         runtime=runtime_label,
         peers=n_peers,
@@ -192,6 +222,10 @@ def run_load(
         failed=failures[0],
         achieved_qps=completed / span,
         latency_ms=latency_ms,
+        latency_ms_by_op={
+            kind: latency_summary(values)
+            for kind, values in sorted(latencies_by_kind.items())
+        },
     )
 
 
@@ -233,6 +267,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--qps", type=float, default=500.0)
     parser.add_argument("--duration", type=float, default=10.0)
     parser.add_argument("--workers", type=int, default=16)
+    parser.add_argument(
+        "--skew",
+        type=float,
+        default=0.0,
+        help="Zipf exponent of the query key distribution "
+        "(0 = uniform, the default; E13 uses 1.1)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=Path, default=None)
     args = parser.parse_args(argv)
@@ -252,6 +293,7 @@ def main(argv: list[str] | None = None) -> int:
         operations = request_trace(
             points,
             max(1, round(args.qps * args.duration)),
+            skew=args.skew,
             seed=args.seed,
         )
         print(

@@ -7,6 +7,7 @@ from repro.workloads.traces import (
     mixed_trace,
     request_trace,
     run_operation,
+    zipf_sampler,
 )
 
 __all__ = [
@@ -17,4 +18,5 @@ __all__ = [
     "mixed_trace",
     "request_trace",
     "run_operation",
+    "zipf_sampler",
 ]

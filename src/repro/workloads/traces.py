@@ -3,6 +3,8 @@ generator."""
 
 from __future__ import annotations
 
+import bisect
+import itertools
 from dataclasses import dataclass
 from typing import Any
 
@@ -66,6 +68,29 @@ def mixed_trace(
     return operations
 
 
+def zipf_sampler(n: int, skew: float, rng) -> Any:
+    """A zero-arg sampler of ranks ``0..n-1`` with Zipf(s = *skew*).
+
+    Rank ``r`` (0-based) is drawn with probability proportional to
+    ``1 / (r + 1) ** skew`` — the standard skewed-access model (hot
+    spots concentrate on the low ranks).  ``skew = 0`` degrades to the
+    uniform ``rng.randrange(n)`` draw, bit-identically.  Sampling is
+    one uniform variate inverted against the precomputed cumulative
+    weights, so a trace costs O(n + ops log n).
+    """
+    if skew < 0:
+        raise ReproError(f"skew must be >= 0, got {skew}")
+    if skew == 0:
+        return lambda: rng.randrange(n)
+    cumulative = list(
+        itertools.accumulate(
+            1.0 / (rank + 1.0) ** skew for rank in range(n)
+        )
+    )
+    total = cumulative[-1]
+    return lambda: bisect.bisect_left(cumulative, rng.random() * total)
+
+
 def request_trace(
     points: list[Point],
     n_operations: int,
@@ -74,6 +99,7 @@ def request_trace(
     range_fraction: float = 0.2,
     insert_fraction: float = 0.1,
     span: float = 0.0004,
+    skew: float = 0.0,
     dims: int = 2,
     seed: int = 0,
 ) -> list[Operation]:
@@ -84,6 +110,13 @@ def request_trace(
     loaded key, or an insertion of a fresh point, drawn with the given
     weights.  *points* are the keys the index was loaded with; fresh
     insertion points are drawn uniformly.  Deterministic under *seed*.
+
+    *skew* selects which loaded key a lookup or range step targets:
+    ``0`` (the default) draws uniformly; ``s > 0`` draws point ranks
+    from Zipf(s) (see :func:`zipf_sampler`), so a handful of keys —
+    hence a handful of leaf buckets and peers — absorb most of the
+    query traffic.  The skewed-workload experiments (E13) run
+    ``skew=1.1``.
     """
     if not points:
         raise ReproError("request_trace needs at least one loaded point")
@@ -96,6 +129,7 @@ def request_trace(
     if not 0.0 < span <= 1.0:
         raise ReproError(f"span must be in (0, 1], got {span}")
     rng = make_rng(seed)
+    sample_rank = zipf_sampler(len(points), skew, rng)
     side = span ** (1.0 / dims)
     operations: list[Operation] = []
     kinds = ("lookup", "range", "insert")
@@ -108,7 +142,7 @@ def request_trace(
                 )
             )
             continue
-        centre = points[rng.randrange(len(points))]
+        centre = points[sample_rank()]
         if kind == "lookup":
             operations.append(Operation("lookup", centre))
             continue

@@ -359,6 +359,13 @@ class TestLoadGenerator:
         rendered = report.render()
         assert "p99 latency (ms)" in rendered
         assert "achieved QPS" in rendered
+        # Per-operation-type percentiles ride along in the report and
+        # the rendered table.
+        assert set(report.latency_ms_by_op) <= {"lookup", "range", "insert"}
+        assert "lookup" in report.latency_ms_by_op
+        for summary in report.latency_ms_by_op.values():
+            assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert "latency by operation type" in rendered
 
     def test_failed_operations_are_counted_not_raised(self):
         index, points = self._loaded_index(50)
