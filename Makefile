@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-faults trace-smoke bench bench-smoke bench-hotpath bench-dataplane bench-adaptive bench-full bench-service experiments experiments-full clean
+.PHONY: install lint test test-faults trace-smoke bench bench-smoke bench-hotpath bench-dataplane bench-adaptive bench-durable bench-full bench-service experiments experiments-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -36,6 +36,10 @@ bench-dataplane:
 bench-adaptive:
 	REPRO_BENCH_SIZE=12000 $(PYTHON) -m pytest benchmarks/test_adaptive.py
 	$(PYTHON) -m pytest tests/test_adaptive.py
+
+bench-durable:
+	REPRO_BENCH_SIZE=12000 $(PYTHON) -m pytest benchmarks/test_durable.py
+	$(PYTHON) -m pytest tests/test_durable.py
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

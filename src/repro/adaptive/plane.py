@@ -487,6 +487,15 @@ class AdaptiveDht(Dht):
             if REPLICA_SEP not in key:
                 yield key, value
 
+    def key_count(self) -> int:
+        # Same replica filter as items(), but via the substrate's
+        # non-decoding count: subtract the copies the directory knows
+        # it created instead of walking (and unpickling) every value.
+        copies = sum(
+            self._replicas.count(key) for key in self._replicas.keys()
+        )
+        return self._inner.key_count() - copies
+
     # The abstract primitives never run — every public method delegates —
     # but the ABC requires them.
 

@@ -66,6 +66,15 @@ class IndexConfig:
             matching; falls back to columnar with a warning when numpy
             is not installed).  Query answers are bit-identical across
             backends; only the constant factors differ.
+        durability: durable per-peer storage for the DHT substrate — a
+            backend kind registered with
+            :func:`repro.dht.durable.register_store_backend`:
+            ``"log"`` (checksummed append-only log framed with the
+            service wire codec, compacted in place) or ``"file"``
+            (one checksummed file per key).  ``None`` (the default)
+            keeps peer stores purely in-memory, bit-identical to a
+            build without the durability plane.  Required for
+            crash-restart recovery (:meth:`repro.dht.api.Dht.restart`).
         tracing: when True the index builds a
             :class:`~repro.obs.trace.Tracer` and threads it through the
             engines, planes, DHT stack and simulated network, so every
@@ -94,6 +103,7 @@ class IndexConfig:
     execution: str = "batched"
     runtime: str = "sim"
     store: str = "columnar"
+    durability: str | None = None
     tracing: bool = False
     adaptive: object | None = None
 
@@ -166,6 +176,16 @@ class IndexConfig:
                 f"unknown store backend {self.store!r}; expected one "
                 f"of {store_backends()}"
             )
+        if self.durability is not None:
+            from repro.dht.durable import store_backend_kinds
+
+            if self.durability not in store_backend_kinds():
+                from repro.common.errors import UnknownDurabilityError
+
+                raise UnknownDurabilityError(
+                    f"unknown durability {self.durability!r}; expected "
+                    f"one of {store_backend_kinds()}"
+                )
 
     def __repr__(self) -> str:
         """Every field, in declaration order, derived from the

@@ -45,6 +45,28 @@ class UnknownStoreError(ReproError, ValueError):
     """
 
 
+class UnknownDurabilityError(ReproError, ValueError):
+    """A durable-backend name is not in the durability registry.
+
+    Raised by :func:`repro.dht.durable.create_store_backend` and by
+    :class:`~repro.runtime.RuntimeConfig` /
+    :class:`~repro.common.config.IndexConfig` validation of the
+    ``durability=`` field.  Subclasses :class:`ValueError` for the
+    same reason as its sibling registry errors.
+    """
+
+
+class CorruptValueError(ReproError, RuntimeError):
+    """A stored byte blob could not be decoded back into an object.
+
+    Raised instead of a bare :mod:`pickle` exception when an
+    :class:`~repro.dht.storage.EncodedValue` blob is truncated or
+    otherwise mangled — a torn durable-log write, a corrupted handoff
+    frame.  Catching :class:`ReproError` at the API boundary therefore
+    covers data corruption too.
+    """
+
+
 class IndexCorruptionError(ReproError, RuntimeError):
     """The distributed index reached a state that violates an invariant.
 

@@ -192,6 +192,20 @@ class DhtStats:
     and ``faults_stale`` (a read answered with a superseded value).
     They count *injections*, not costs: a dropped probe was still
     metered in ``lookups``/``gets``.
+
+    The ``restart_*`` counters meter crash recovery on a durable
+    substrate (:mod:`repro.dht.durable`): ``restarts`` — how many
+    peers came back through :meth:`Dht.restart`,
+    ``restart_replayed`` — keys rebuilt from the peer's own durable
+    log (local disk, no network), ``restart_reconciled`` — keys
+    pulled from live peers because they were written (or re-homed to
+    the restarted peer's range) while it was down,
+    ``restart_rehomed`` — keys the restarted peer pushed away because
+    their ownership moved while it was down, and
+    ``restart_repair_bytes`` — modelled wire bytes those reconcile and
+    re-home transfers moved.  Repair traffic is proportional to keys
+    whose ownership changed, never to store size: replayed keys cost
+    zero network bytes.
     """
 
     lookups: int = 0
@@ -213,6 +227,11 @@ class DhtStats:
     faults_timed_out: int = 0
     faults_slowed: int = 0
     faults_stale: int = 0
+    restarts: int = 0
+    restart_replayed: int = 0
+    restart_reconciled: int = 0
+    restart_rehomed: int = 0
+    restart_repair_bytes: int = 0
 
     @property
     def faults_injected(self) -> int:
@@ -445,6 +464,36 @@ class Dht(ABC):
         with tracer.span("dht", "lookup_many", count=len(keys)):
             return _raise_batch_failures(self._do_lookup_many(keys))
 
+    def restart(self, name: str) -> None:
+        """Bring a crashed peer back from its durable state.
+
+        The recovery primitive next to ``join``/``leave``/``fail`` on
+        substrates with membership: replay the peer's durable log
+        (local, free), then reconcile with the live overlay — pull
+        keys written into its range while it was down, push keys whose
+        ownership moved away.  Repair traffic is proportional to keys
+        whose ownership changed, not to the store's size; the
+        ``restart_*`` counters on :class:`DhtStats` record the split.
+
+        Requires a substrate built with durability
+        (``RuntimeConfig(durability=...)``); otherwise — and on
+        substrates without membership at all — this raises
+        :class:`ReproError`.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            self._do_restart(name)
+            return
+        with tracer.span("dht", "restart", peer=name):
+            self._do_restart(name)
+
+    def _do_restart(self, name: str) -> None:
+        raise ReproError(
+            f"{type(self).__name__} does not support restart; build the "
+            "substrate with durability enabled "
+            "(RuntimeConfig(durability=...))"
+        )
+
     def rewrite_local(self, key: str, value: Any) -> None:
         """Replace the value at an existing key at zero metered cost.
 
@@ -467,6 +516,17 @@ class Dht(ABC):
         """Read a key without metering.  Experiments must not use this
         on query paths; it exists for invariant checks and metrics."""
         return self._do_get(key)
+
+    def key_count(self) -> int:
+        """Number of distinct keys stored anywhere (oracle, unmetered).
+
+        The counting path for churn and restart accounting.  This
+        default counts :meth:`items`, which on an encoded store decodes
+        every value; substrates override it with a non-decoding
+        ``PeerStore.keys()`` walk, so counting a store never unpickles
+        it.
+        """
+        return sum(1 for _ in self.items())
 
     @abstractmethod
     def peer_of(self, key: str) -> str:

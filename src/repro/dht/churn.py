@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import ReproError
-from repro.common.rng import make_rng
+from repro.common.rng import derive_seed, make_rng
 from repro.dht.api import Dht
 
 
@@ -30,7 +30,7 @@ from repro.dht.api import Dht
 class ChurnEvent:
     """One membership change."""
 
-    kind: str  # "join" | "leave" | "fail"
+    kind: str  # "join" | "leave" | "fail" | "restart"
     peer: str
 
 
@@ -57,19 +57,32 @@ def generate_schedule(
     leave_weight: float = 1.0,
     fail_weight: float = 0.0,
     seed: int = 0,
+    restart_weight: float = 0.0,
 ) -> list[str]:
-    """Return *n_events* event kinds drawn by the given weights."""
-    weights = [join_weight, leave_weight, fail_weight]
-    for name, weight in zip(("join", "leave", "fail"), weights):
+    """Return *n_events* event kinds drawn by the given weights.
+
+    ``restart`` events recover a previously crashed peer from its
+    durable log (:meth:`repro.dht.api.Dht.restart`); they only make
+    sense on substrates built with ``durability=...``.
+
+    The schedule stream is sub-seeded with ``derive_seed(seed,
+    "churn-schedule")`` so it is independent of the victim-selection
+    stream in :func:`run_churn` for every base seed.  (Earlier
+    versions seeded the two streams ``seed`` and ``seed + 1``, so the
+    schedule for seed N reused the victim stream of seed N - 1;
+    schedules drawn for a given seed differ from those versions.)
+    """
+    weights = [join_weight, leave_weight, fail_weight, restart_weight]
+    names = ("join", "leave", "fail", "restart")
+    for name, weight in zip(names, weights):
         if weight < 0:
             raise ReproError(
                 f"{name}_weight must be >= 0, got {weight}"
             )
     if sum(weights) <= 0:
         raise ReproError("at least one churn weight must be positive")
-    rng = make_rng(seed)
-    kinds = ["join", "leave", "fail"]
-    return rng.choices(kinds, weights=weights, k=n_events)
+    rng = make_rng(derive_seed(seed, "churn-schedule"))
+    return rng.choices(list(names), weights=weights, k=n_events)
 
 
 def _repair(dht: Dht, report: ChurnReport) -> None:
@@ -86,6 +99,7 @@ def run_churn(
     join_weight: float = 1.0,
     leave_weight: float = 1.0,
     fail_weight: float = 0.0,
+    restart_weight: float = 0.0,
     stabilize_rounds: int = 2,
     min_peers: int = 4,
     seed: int = 0,
@@ -97,26 +111,51 @@ def run_churn(
     ``repair_replicas`` are driven when present.  Leaves and crashes
     are suppressed while the overlay has *min_peers* or fewer, so the
     ring never churns itself away.
+
+    *restart_weight* > 0 draws kill-and-restart cycles: a restart
+    event recovers the oldest still-down crash victim from its durable
+    backend (:meth:`repro.dht.api.Dht.restart`) and is skipped while
+    no crashed peer is down.  It requires a substrate built with
+    ``durability=...``.
+
+    Key accounting (``keys_before`` / ``keys_after``) walks
+    :meth:`repro.dht.api.Dht.key_count`, which counts stored keys
+    without decoding values — on an ``encoded_storage`` substrate the
+    old ``sum(1 for _ in dht.items())`` walk unpickled every stored
+    blob just to count it.
+
+    The victim-selection stream is sub-seeded with
+    ``derive_seed(seed, "churn-victims")``; see
+    :func:`generate_schedule` for the compatibility note on the old
+    ``seed + 1`` scheme.
     """
-    rng = make_rng(seed + 1)
+    rng = make_rng(derive_seed(seed, "churn-victims"))
     report = ChurnReport()
-    report.keys_before = sum(1 for _ in dht.items())
+    report.keys_before = dht.key_count()
     stabilize = getattr(dht, "stabilize_all", None)
     next_id = 100_000
+    down: list[str] = []  # crash victims awaiting a restart draw
     for kind in generate_schedule(
-        n_events, join_weight, leave_weight, fail_weight, seed
+        n_events, join_weight, leave_weight, fail_weight, seed,
+        restart_weight,
     ):
         peers = dht.peers()
         if kind == "join":
             name = f"churn-{next_id}"
             next_id += 1
             dht.join(name, gateway=rng.choice(peers))
+        elif kind == "restart":
+            if not down:
+                continue
+            name = down.pop(0)
+            dht.restart(name)
         elif len(peers) > min_peers:
             victim = rng.choice(peers)
             if kind == "leave":
                 dht.leave(victim)
             else:
                 dht.fail(victim)
+                down.append(victim)
             name = victim
         else:
             continue
@@ -130,5 +169,5 @@ def run_churn(
     if stabilize is not None:
         stabilize(stabilize_rounds)
     _repair(dht, report)
-    report.keys_after = sum(1 for _ in dht.items())
+    report.keys_after = dht.key_count()
     return report

@@ -387,3 +387,6 @@ class FaultyDht(Dht):
 
     def items(self) -> Iterator[tuple[str, Any]]:
         return self._inner.items()
+
+    def key_count(self) -> int:
+        return self._inner.key_count()

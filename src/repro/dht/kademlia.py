@@ -23,6 +23,11 @@ from typing import Any
 from repro.common.errors import DhtKeyError, ReproError
 from repro.dht.api import Dht, data_wire_size, request_wire_size
 from repro.dht.batching import NetworkRoundBatchMixin
+from repro.dht.durable import (
+    backend_path,
+    create_store_backend,
+    resolve_data_dir,
+)
 from repro.dht.hashing import key_digest, node_id_from_name, xor_distance
 from repro.dht.storage import PeerStore
 from repro.net.message import Message
@@ -41,11 +46,16 @@ ID_BITS = 160
 class KademliaNode:
     """One Kademlia peer: k-buckets, storage, RPC handlers."""
 
-    def __init__(self, name: str, network: SimNetwork) -> None:
+    def __init__(
+        self,
+        name: str,
+        network: SimNetwork,
+        store: PeerStore | None = None,
+    ) -> None:
         self.name = name
         self.ident = node_id_from_name(name)
         self.network = network
-        self.store = PeerStore()
+        self.store = store if store is not None else PeerStore()
         # buckets[i] holds contacts whose XOR distance has bit length i+1.
         self.buckets: list[list[tuple[int, str]]] = [
             [] for _ in range(ID_BITS)
@@ -123,22 +133,50 @@ class KademliaNode:
 class KademliaDht(NetworkRoundBatchMixin, Dht):
     """The :class:`~repro.dht.api.Dht` facade over a Kademlia overlay."""
 
-    def __init__(self, network: SimNetwork | None = None) -> None:
+    def __init__(
+        self,
+        network: SimNetwork | None = None,
+        encoded_storage: bool = False,
+        durability: str | None = None,
+        data_dir: str | None = None,
+    ) -> None:
         super().__init__()
         self.network = network if network is not None else SimNetwork()
+        self.encoded_storage = encoded_storage
+        self.durability = durability
+        self.data_dir = (
+            resolve_data_dir(data_dir, "kad")
+            if durability is not None
+            else None
+        )
         self._nodes: dict[str, KademliaNode] = {}
+
+    def _new_store(self, name: str) -> PeerStore:
+        backend = None
+        if self.durability is not None:
+            backend = create_store_backend(
+                self.durability, backend_path(self.data_dir, name)
+            )
+        return PeerStore(encoded=self.encoded_storage, backend=backend)
 
     @classmethod
     def build(
-        cls, n_peers: int, network: SimNetwork | None = None
+        cls,
+        n_peers: int,
+        network: SimNetwork | None = None,
+        encoded_storage: bool = False,
+        durability: str | None = None,
+        data_dir: str | None = None,
     ) -> "KademliaDht":
         """Create *n_peers* and bootstrap their routing tables."""
         if n_peers < 1:
             raise ReproError(f"n_peers must be >= 1, got {n_peers}")
-        dht = cls(network)
+        dht = cls(network, encoded_storage, durability, data_dir)
         for index in range(n_peers):
             name = f"kad-{index:04d}"
-            dht._nodes[name] = KademliaNode(name, dht.network)
+            dht._nodes[name] = KademliaNode(
+                name, dht.network, store=dht._new_store(name)
+            )
         dht.bootstrap()
         return dht
 
@@ -162,7 +200,7 @@ class KademliaDht(NetworkRoundBatchMixin, Dht):
         """Protocol join: learn contacts via an iterative self-lookup."""
         if name in self._nodes:
             raise ReproError(f"peer {name!r} already joined")
-        node = KademliaNode(name, self.network)
+        node = KademliaNode(name, self.network, store=self._new_store(name))
         self._nodes[name] = node
         others = [n for n in self._nodes if n != name]
         if not others:
@@ -184,28 +222,96 @@ class KademliaDht(NetworkRoundBatchMixin, Dht):
 
     def leave(self, name: str) -> None:
         """Graceful departure: push each stored key to the remaining
-        node closest to its digest, then go."""
+        node closest to its digest, then go.
+
+        Handoff moves raw store entries (blobs on an encoded overlay)
+        and wipes the peer's durable state so handed-off keys cannot
+        resurrect through a later :meth:`restart`."""
         node = self._nodes.get(name)
         if node is None:
             raise ReproError(f"unknown peer {name!r}")
         others = [n for n in self._nodes.values() if n.name != name]
-        for key, value in list(node.store.items()):
-            if not others:
-                break
-            digest = key_digest(key)
-            target = min(
-                others, key=lambda n: xor_distance(n.ident, digest)
-            )
-            self.network.rpc(name, target.name, "store_put", key, value)
+        if others:
+            for key, value in node.store.pop_range(lambda digest: True):
+                digest = key_digest(key)
+                target = min(
+                    others, key=lambda n: xor_distance(n.ident, digest)
+                )
+                self.network.rpc(name, target.name, "store_put", key, value)
+        node.store.wipe_backend()
         self.network.unregister(name)
         del self._nodes[name]
 
     def fail(self, name: str) -> None:
-        """Abrupt crash."""
-        if name not in self._nodes:
+        """Abrupt crash; durable state stays on disk for restart."""
+        node = self._nodes.get(name)
+        if node is None:
             raise ReproError(f"unknown peer {name!r}")
+        node.store.close_backend()
         self.network.unregister(name)
         del self._nodes[name]
+
+    def _do_restart(self, name: str) -> None:
+        """Recover a crashed peer: replay its durable log, rejoin the
+        overlay, then reconcile — pull keys now XOR-closest to it,
+        push keys that stopped being its responsibility while down."""
+        if name in self._nodes:
+            raise ReproError(f"peer {name!r} is already live")
+        if self.durability is None:
+            raise ReproError(
+                "restart requires a durable backend; build the overlay "
+                "with durability=..."
+            )
+        backend = create_store_backend(
+            self.durability, backend_path(self.data_dir, name)
+        )
+        store = PeerStore.recover(backend, encoded=self.encoded_storage)
+        node = KademliaNode(name, self.network, store=store)
+        self._nodes[name] = node
+        stats = self.stats
+        stats.restarts += 1
+        stats.restart_replayed += len(store)
+        others = [n for n in self._nodes.values() if n.name != name]
+        if not others:
+            return
+        gateway = min(others, key=lambda n: n.name)
+        node.observe(gateway.ident, gateway.name)
+        self._iterative_find(node, node.ident)
+        # Reconcile: pull keys written while down that now belong here.
+        for other in others:
+            moved = other.store.pop_range(
+                lambda digest: xor_distance(digest, node.ident)
+                < xor_distance(digest, other.ident)
+            )
+            for key, value in moved:
+                self.network.rpc(
+                    other.name, name, "store_put", key, value,
+                    size_bytes=request_wire_size(key, value),
+                    payload_bytes=data_wire_size(value),
+                )
+                stats.restart_reconciled += 1
+                stats.restart_repair_bytes += request_wire_size(key, value)
+        # Re-home: keys whose ownership moved while this peer was down.
+        moved = node.store.pop_range(
+            lambda digest: min(
+                self._nodes.values(),
+                key=lambda n: xor_distance(n.ident, digest),
+            )
+            is not node
+        )
+        for key, value in moved:
+            digest = key_digest(key)
+            owner = min(
+                self._nodes.values(),
+                key=lambda n: xor_distance(n.ident, digest),
+            )
+            self.network.rpc(
+                name, owner.name, "store_put", key, value,
+                size_bytes=request_wire_size(key, value),
+                payload_bytes=data_wire_size(value),
+            )
+            stats.restart_rehomed += 1
+            stats.restart_repair_bytes += request_wire_size(key, value)
 
     def stabilize_all(self, rounds: int = 1) -> None:
         """Periodic maintenance, run to convergence.
@@ -307,6 +413,10 @@ class KademliaDht(NetworkRoundBatchMixin, Dht):
     def items(self) -> Iterator[tuple[str, Any]]:
         for node in self._nodes.values():
             yield from node.store.items()
+
+    def key_count(self) -> int:
+        """Stored keys via the non-decoding ``keys()`` walk."""
+        return sum(len(node.store) for node in self._nodes.values())
 
     def node(self, name: str) -> KademliaNode:
         """Direct peer access (tests only)."""

@@ -21,6 +21,11 @@ from repro.common.errors import (
     ReproError,
 )
 from repro.dht.api import Dht, _capture, shared_executor
+from repro.dht.durable import (
+    backend_path,
+    create_store_backend,
+    resolve_data_dir,
+)
 from repro.dht.peer import HashRing
 from repro.dht.storage import PeerStore
 
@@ -32,20 +37,47 @@ _MIN_PARALLEL_BATCH = 4
 class LocalDht(Dht):
     """In-process consistent-hashing DHT with per-peer stores."""
 
-    def __init__(self, n_peers: int = 128, virtual_nodes: int = 1) -> None:
+    def __init__(
+        self,
+        n_peers: int = 128,
+        virtual_nodes: int = 1,
+        durability: str | None = None,
+        data_dir: str | None = None,
+    ) -> None:
         """*virtual_nodes* > 1 gives each peer that many ring positions
         (DHash/Bamboo-style virtual hosts), evening out the arc lengths
         peers own; load-balance experiments use this so that measured
-        imbalance reflects the index, not hash-arc luck."""
+        imbalance reflects the index, not hash-arc luck.
+
+        *durability* journals every peer store into a durable backend
+        (:mod:`repro.dht.durable`).  This oracle has no membership, so
+        there is no restart protocol here — the option exists so the
+        one config surface (``IndexConfig(durability=...)``) applies
+        to every substrate uniformly."""
         super().__init__()
         if n_peers < 1:
             raise ReproError(f"n_peers must be >= 1, got {n_peers}")
+        self.durability = durability
+        self.data_dir = (
+            resolve_data_dir(data_dir, "local")
+            if durability is not None
+            else None
+        )
         self._ring = HashRing(
             [f"peer-{index:04d}" for index in range(n_peers)],
             virtual_nodes,
         )
         self._stores: dict[str, PeerStore] = {
-            name: PeerStore() for name in self._ring.peers()
+            name: PeerStore(
+                backend=(
+                    create_store_backend(
+                        durability, backend_path(self.data_dir, name)
+                    )
+                    if durability is not None
+                    else None
+                )
+            )
+            for name in self._ring.peers()
         }
 
     # ------------------------------------------------------------------
@@ -62,6 +94,10 @@ class LocalDht(Dht):
     def items(self) -> Iterator[tuple[str, Any]]:
         for store in self._stores.values():
             yield from store.items()
+
+    def key_count(self) -> int:
+        """Stored keys via the non-decoding ``keys()`` walk."""
+        return sum(len(store) for store in self._stores.values())
 
     def load_by_peer(self, weigh=None) -> dict[str, int]:
         """Per-peer storage load.

@@ -22,6 +22,11 @@ from typing import Any
 from repro.common.errors import DhtKeyError, ReproError
 from repro.dht.api import Dht, data_wire_size, request_wire_size
 from repro.dht.batching import NetworkRoundBatchMixin
+from repro.dht.durable import (
+    backend_path,
+    create_store_backend,
+    resolve_data_dir,
+)
 from repro.dht.hashing import ID_BITS, key_digest, node_id_from_name
 from repro.dht.storage import PeerStore
 from repro.net.message import Message
@@ -62,12 +67,17 @@ def numeric_distance(a: int, b: int) -> int:
 class PastryNode:
     """One Pastry peer: routing table, leaf set, storage."""
 
-    def __init__(self, name: str, network: SimNetwork) -> None:
+    def __init__(
+        self,
+        name: str,
+        network: SimNetwork,
+        store: PeerStore | None = None,
+    ) -> None:
         self.name = name
         self.ident = node_id_from_name(name)
         self.digits = digits_of(self.ident)
         self.network = network
-        self.store = PeerStore()
+        self.store = store if store is not None else PeerStore()
         # routing_table[row][column] -> (ident, name) | None
         self.routing_table: list[list[tuple[int, str] | None]] = [
             [None] * (2**DIGIT_BITS) for _ in range(N_DIGITS)
@@ -205,22 +215,50 @@ class PastryNode:
 class PastryDht(NetworkRoundBatchMixin, Dht):
     """The :class:`~repro.dht.api.Dht` facade over a Pastry overlay."""
 
-    def __init__(self, network: SimNetwork | None = None) -> None:
+    def __init__(
+        self,
+        network: SimNetwork | None = None,
+        encoded_storage: bool = False,
+        durability: str | None = None,
+        data_dir: str | None = None,
+    ) -> None:
         super().__init__()
         self.network = network if network is not None else SimNetwork()
+        self.encoded_storage = encoded_storage
+        self.durability = durability
+        self.data_dir = (
+            resolve_data_dir(data_dir, "pastry")
+            if durability is not None
+            else None
+        )
         self._nodes: dict[str, PastryNode] = {}
+
+    def _new_store(self, name: str) -> PeerStore:
+        backend = None
+        if self.durability is not None:
+            backend = create_store_backend(
+                self.durability, backend_path(self.data_dir, name)
+            )
+        return PeerStore(encoded=self.encoded_storage, backend=backend)
 
     @classmethod
     def build(
-        cls, n_peers: int, network: SimNetwork | None = None
+        cls,
+        n_peers: int,
+        network: SimNetwork | None = None,
+        encoded_storage: bool = False,
+        durability: str | None = None,
+        data_dir: str | None = None,
     ) -> "PastryDht":
         """Create *n_peers* with fully populated state."""
         if n_peers < 1:
             raise ReproError(f"n_peers must be >= 1, got {n_peers}")
-        dht = cls(network)
+        dht = cls(network, encoded_storage, durability, data_dir)
         for index in range(n_peers):
             name = f"pastry-{index:04d}"
-            dht._nodes[name] = PastryNode(name, dht.network)
+            dht._nodes[name] = PastryNode(
+                name, dht.network, store=dht._new_store(name)
+            )
         everyone = [(node.ident, node.name) for node in dht._nodes.values()]
         for node in dht._nodes.values():
             for ident, name in everyone:
@@ -232,7 +270,7 @@ class PastryDht(NetworkRoundBatchMixin, Dht):
         over the key range, and announce the newcomer."""
         if name in self._nodes:
             raise ReproError(f"peer {name!r} already joined")
-        node = PastryNode(name, self.network)
+        node = PastryNode(name, self.network, store=self._new_store(name))
         self._nodes[name] = node
         others = [n for n in self._nodes if n != name]
         if not others:
@@ -262,20 +300,24 @@ class PastryDht(NetworkRoundBatchMixin, Dht):
 
     def leave(self, name: str) -> None:
         """Graceful departure: hand each stored key to the remaining
-        numerically closest node, then go."""
+        numerically closest node, then go.
+
+        Handoff moves raw store entries (blobs on an encoded overlay)
+        and wipes the peer's durable state so handed-off keys cannot
+        resurrect through a later :meth:`restart`."""
         node = self._nodes.get(name)
         if node is None:
             raise ReproError(f"unknown peer {name!r}")
         others = [n for n in self._nodes.values() if n.name != name]
-        for key, value in list(node.store.items()):
-            if not others:
-                break
-            digest = key_digest(key)
-            target = min(
-                others,
-                key=lambda n: numeric_distance(n.ident, digest),
-            )
-            self.network.rpc(name, target.name, "store_put", key, value)
+        if others:
+            for key, value in node.store.pop_range(lambda digest: True):
+                digest = key_digest(key)
+                target = min(
+                    others,
+                    key=lambda n: numeric_distance(n.ident, digest),
+                )
+                self.network.rpc(name, target.name, "store_put", key, value)
+        node.store.wipe_backend()
         self.network.unregister(name)
         del self._nodes[name]
         for survivor in self._nodes.values():
@@ -326,13 +368,88 @@ class PastryDht(NetworkRoundBatchMixin, Dht):
                     )
 
     def fail(self, name: str) -> None:
-        """Abrupt crash; survivors lazily forget the dead contact."""
-        if name not in self._nodes:
+        """Abrupt crash; survivors lazily forget the dead contact.
+        Durable state stays on disk for :meth:`restart`."""
+        node = self._nodes.get(name)
+        if node is None:
             raise ReproError(f"unknown peer {name!r}")
+        node.store.close_backend()
         self.network.unregister(name)
         del self._nodes[name]
-        for node in self._nodes.values():
-            node.forget(name)
+        for survivor in self._nodes.values():
+            survivor.forget(name)
+
+    def _do_restart(self, name: str) -> None:
+        """Recover a crashed peer: replay its durable log, rejoin via
+        the join protocol's state copy and handoff, then re-home keys
+        whose ownership moved while the peer was down."""
+        if name in self._nodes:
+            raise ReproError(f"peer {name!r} is already live")
+        if self.durability is None:
+            raise ReproError(
+                "restart requires a durable backend; build the overlay "
+                "with durability=..."
+            )
+        backend = create_store_backend(
+            self.durability, backend_path(self.data_dir, name)
+        )
+        store = PeerStore.recover(backend, encoded=self.encoded_storage)
+        node = PastryNode(name, self.network, store=store)
+        self._nodes[name] = node
+        stats = self.stats
+        stats.restarts += 1
+        stats.restart_replayed += len(store)
+        others = [n for n in self._nodes if n != name]
+        if not others:
+            return
+        gateway_node = self._nodes[min(others)]
+        node.learn(gateway_node.ident, gateway_node.name)
+        closest_name = self._route_from(gateway_node, node.ident)
+        for source in {gateway_node.name, closest_name}:
+            contacts = self.network.rpc(name, source, "get_state")
+            for ident, contact in contacts:
+                node.learn(ident, contact)
+        # Reconcile: while the peer was down, writes in its range landed
+        # on whichever neighbour was then numerically closest — on
+        # either side of its identifier — so pull the handoff from
+        # every leaf-set neighbour, not just the single closest node.
+        sources = {contact for _, contact in node.leaf_set}
+        sources.discard(name)
+        for source in sorted(sources):
+            entries = self.network.rpc(
+                name, source, "handoff", node.ident, node.name
+            )
+            for key, value in entries:
+                node.store.put(key, value)
+                stats.restart_reconciled += 1
+                stats.restart_repair_bytes += request_wire_size(key, value)
+        announcement = [(node.ident, node.name)]
+        for ident, contact in list(node._all_contacts()):
+            try:
+                self.network.rpc(name, contact, "learn_from", announcement)
+            except RpcError:
+                continue
+        # Re-home: keys whose ownership moved while this peer was down.
+        moved = node.store.pop_range(
+            lambda digest: min(
+                self._nodes.values(),
+                key=lambda n: numeric_distance(n.ident, digest),
+            )
+            is not node
+        )
+        for key, value in moved:
+            digest = key_digest(key)
+            owner = min(
+                self._nodes.values(),
+                key=lambda n: numeric_distance(n.ident, digest),
+            )
+            self.network.rpc(
+                name, owner.name, "store_put", key, value,
+                size_bytes=request_wire_size(key, value),
+                payload_bytes=data_wire_size(value),
+            )
+            stats.restart_rehomed += 1
+            stats.restart_repair_bytes += request_wire_size(key, value)
 
     # ------------------------------------------------------------------
     # Routing
@@ -378,6 +495,10 @@ class PastryDht(NetworkRoundBatchMixin, Dht):
     def items(self) -> Iterator[tuple[str, Any]]:
         for node in self._nodes.values():
             yield from node.store.items()
+
+    def key_count(self) -> int:
+        """Stored keys via the non-decoding ``keys()`` walk."""
+        return sum(len(node.store) for node in self._nodes.values())
 
     def node(self, name: str) -> PastryNode:
         """Direct peer access (tests only)."""

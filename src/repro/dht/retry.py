@@ -318,6 +318,9 @@ class RetryingDht(Dht):
     def items(self) -> Iterator[tuple[str, Any]]:
         return self._inner.items()
 
+    def key_count(self) -> int:
+        return self._inner.key_count()
+
     # The abstract primitives never run — every public method delegates —
     # but the ABC requires them.
 

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import pickle
 from collections.abc import Iterator
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
-from repro.common.errors import DhtKeyError
+from repro.common.errors import CorruptValueError, DhtKeyError
 from repro.dht.hashing import key_digest
+
+if TYPE_CHECKING:
+    from repro.dht.durable import DurableBackend
 
 
 class EncodedValue:
@@ -28,13 +31,39 @@ class EncodedValue:
         return cls(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
 
     def decode(self) -> Any:
-        return pickle.loads(self.data)
+        """Rebuild the stored object from its blob.
+
+        A truncated or mangled blob — a torn durable-log write, a
+        corrupted handoff — raises the typed
+        :class:`~repro.common.errors.CorruptValueError` instead of
+        whichever bare exception :mod:`pickle` happened to hit.
+        """
+        try:
+            return pickle.loads(self.data)
+        except Exception as exc:
+            raise CorruptValueError(
+                f"encoded value of {len(self.data)} bytes is "
+                f"undecodable: {exc}"
+            ) from exc
+
+    def encoded_wire_size(self) -> int:
+        """Exact payload bytes this blob occupies on the wire; hooks
+        into :func:`repro.core.codec.payload_wire_size` so handoff of
+        still-encoded values is priced by real blob length."""
+        return len(self.data)
 
     def __len__(self) -> int:
         return len(self.data)
 
     def __repr__(self) -> str:
         return f"EncodedValue({len(self.data)} bytes)"
+
+
+def _blob_of(value: Any) -> bytes:
+    """The byte representation a durable backend journals for *value*."""
+    if isinstance(value, EncodedValue):
+        return value.data
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 class PeerStore:
@@ -49,18 +78,53 @@ class PeerStore:
     peer, and what :meth:`pop_range` moves during churn, is the same
     byte string a wire frame would carry.  A plain store accepts
     :class:`EncodedValue` blobs on ``put`` (a handoff from an encoded
-    peer) and decodes them immediately.
+    peer) and decodes them immediately — a corrupt blob raises
+    :class:`~repro.common.errors.CorruptValueError` before anything is
+    stored or journaled.
+
+    With a *backend* (:class:`~repro.dht.durable.DurableBackend`)
+    attached, every mutation is journaled as a byte blob, so the
+    peer's state survives a crash and :meth:`recover` can rebuild it.
     """
 
-    def __init__(self, encoded: bool = False) -> None:
+    def __init__(
+        self,
+        encoded: bool = False,
+        backend: "DurableBackend | None" = None,
+    ) -> None:
         self._values: dict[str, Any] = {}
         self._digests: dict[str, int] = {}
         self._encoded = encoded
+        self._backend = backend
 
     @property
     def encoded(self) -> bool:
         """True when values are kept as pickled bytes between accesses."""
         return self._encoded
+
+    @property
+    def backend(self) -> "DurableBackend | None":
+        """The attached durable backend, if any."""
+        return self._backend
+
+    @classmethod
+    def recover(
+        cls, backend: "DurableBackend", encoded: bool = False
+    ) -> "PeerStore":
+        """Rebuild a store from *backend*'s durable state.
+
+        Replayed blobs enter through the normal :meth:`put` path (as
+        :class:`EncodedValue`), so a plain store decodes them — and a
+        torn-write blob that somehow passed the backend's checksum
+        still surfaces as :class:`CorruptValueError`, not silent
+        garbage.  The backend is attached only after replay: replay
+        itself journals nothing.
+        """
+        store = cls(encoded=encoded)
+        for key, blob in backend.replay().items():
+            store.put(key, EncodedValue(blob))
+        store._backend = backend
+        return store
 
     def __len__(self) -> int:
         return len(self._values)
@@ -77,21 +141,37 @@ class PeerStore:
     def put(self, key: str, value: Any) -> None:
         if key not in self._digests:
             self._digests[key] = key_digest(key)
+        blob = value.data if isinstance(value, EncodedValue) else None
         if self._encoded:
             if not isinstance(value, EncodedValue):
                 value = EncodedValue.encode(value)
         elif isinstance(value, EncodedValue):
             value = value.decode()
         self._values[key] = value
+        if self._backend is not None:
+            if blob is None:
+                blob = _blob_of(value)
+            self._backend.record_put(key, blob)
+            self._maybe_compact()
 
     def remove(self, key: str) -> Any:
         if key not in self._values:
             raise DhtKeyError(f"key {key!r} not stored on this peer")
         self._digests.pop(key, None)
         value = self._values.pop(key)
+        if self._backend is not None:
+            self._backend.record_remove(key)
         if isinstance(value, EncodedValue):
             return value.decode()
         return value
+
+    def keys(self) -> Iterator[str]:
+        """Iterate stored keys without touching (or decoding) values.
+
+        The counting path: churn accounting and ``Dht.key_count`` use
+        this so an encoded store is never unpickled just to be counted.
+        """
+        return iter(self._values.keys())
 
     def items(self) -> Iterator[tuple[str, Any]]:
         for key, value in self._values.items():
@@ -124,4 +204,27 @@ class PeerStore:
         for key, _ in moved:
             del self._values[key]
             del self._digests[key]
+            if self._backend is not None:
+                self._backend.record_remove(key)
         return moved
+
+    def _maybe_compact(self) -> None:
+        backend = self._backend
+        if backend is not None and backend.should_compact(len(self._values)):
+            backend.compact(
+                (key, _blob_of(value))
+                for key, value in self._values.items()
+            )
+
+    def close_backend(self) -> None:
+        """Detach and close the backend (crash: durable state survives)."""
+        backend, self._backend = self._backend, None
+        if backend is not None:
+            backend.close()
+
+    def wipe_backend(self) -> None:
+        """Detach and delete the backend's durable state (graceful
+        departure: handed-off keys must not resurrect on a restart)."""
+        backend, self._backend = self._backend, None
+        if backend is not None:
+            backend.wipe()

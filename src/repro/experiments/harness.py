@@ -51,7 +51,11 @@ def build_index(
     """
     if dht is None:
         if runtime is None:
-            runtime = RuntimeConfig(kind=config.runtime, n_peers=n_peers)
+            runtime = RuntimeConfig(
+                kind=config.runtime,
+                n_peers=n_peers,
+                durability=config.durability,
+            )
         dht = create_dht(runtime)
     if scheme == "mlight":
         return MLightIndex(dht, config)

@@ -23,6 +23,7 @@ from repro.experiments import (
     charts,
     churn_experiment,
     fault_experiment,
+    restart_experiment,
     fig5,
     fig6,
     fig7,
@@ -149,6 +150,13 @@ def main(argv: list[str] | None = None) -> int:
     print("\n=== Extension E13: skewed reads and the adaptive plane ===")
     print(skew_experiment.render(
         skew_experiment.run_skew_experiment(small, config, seed=args.seed)
+    ))
+
+    print("\n=== Extension E14: crash-restart recovery ===")
+    print(restart_experiment.render(
+        restart_experiment.run_restart_recovery(
+            tiny, config, seed=args.seed
+        )
     ))
 
     if args.csv_dir:

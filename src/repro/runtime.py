@@ -41,9 +41,14 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
-from repro.common.errors import ReproError, UnknownRuntimeError
+from repro.common.errors import (
+    ReproError,
+    UnknownDurabilityError,
+    UnknownRuntimeError,
+)
 from repro.dht.api import Dht
 from repro.dht.chord import ChordDht
+from repro.dht.durable import store_backend_kinds
 from repro.dht.kademlia import KademliaDht
 from repro.dht.localhash import LocalDht
 from repro.dht.pastry import PastryDht
@@ -65,6 +70,14 @@ class RuntimeConfig:
         virtual_nodes: ring positions per peer (consistent-hashing
             placements only, i.e. ``local`` and the service runtime).
         replication: stored copies per key (``sim``/``chord`` only).
+        durability: durable-backend kind journaling every peer store
+            (``"log"``, ``"file"``, or any kind added via
+            :func:`~repro.dht.durable.register_store_backend`); ``None``
+            keeps stores purely in-memory.  Required for
+            :meth:`~repro.dht.api.Dht.restart`.
+        data_dir: directory for the durable backend files; ``None``
+            gives each substrate its own fresh temporary directory, so
+            parallel test workers never share a log.
     """
 
     kind: str = "sim"
@@ -72,6 +85,8 @@ class RuntimeConfig:
     n_peers: int = 128
     virtual_nodes: int = 1
     replication: int = 1
+    durability: str | None = None
+    data_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.overlay not in OVERLAYS:
@@ -99,16 +114,34 @@ class RuntimeConfig:
                 "replication is implemented by the chord overlay only, "
                 f"not {self.overlay!r}"
             )
+        if self.durability is not None:
+            kinds = store_backend_kinds()
+            if self.durability not in kinds:
+                raise UnknownDurabilityError(
+                    f"unknown durability {self.durability!r}; expected "
+                    f"one of {kinds}"
+                )
+        if self.data_dir is not None and self.durability is None:
+            raise ReproError(
+                "data_dir has no effect without durability; pass "
+                "durability='log' or 'file' alongside it"
+            )
 
 
 def _build_sim(config: RuntimeConfig) -> Dht:
+    durable = {
+        "durability": config.durability,
+        "data_dir": config.data_dir,
+    }
     if config.overlay == "local":
-        return LocalDht(config.n_peers, config.virtual_nodes)
+        return LocalDht(config.n_peers, config.virtual_nodes, **durable)
     if config.overlay == "chord":
-        return ChordDht.build(config.n_peers, replication=config.replication)
+        return ChordDht.build(
+            config.n_peers, replication=config.replication, **durable
+        )
     if config.overlay == "kademlia":
-        return KademliaDht.build(config.n_peers)
-    return PastryDht.build(config.n_peers)
+        return KademliaDht.build(config.n_peers, **durable)
+    return PastryDht.build(config.n_peers, **durable)
 
 
 def _build_service(transport: str) -> Callable[[RuntimeConfig], Dht]:
@@ -119,6 +152,8 @@ def _build_service(transport: str) -> Callable[[RuntimeConfig], Dht]:
             virtual_nodes=config.virtual_nodes,
             peer_prefix="peer" if config.overlay == "local"
             else config.overlay,
+            durability=config.durability,
+            data_dir=config.data_dir,
         )
 
     return build

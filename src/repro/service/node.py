@@ -32,7 +32,13 @@ from typing import TYPE_CHECKING, Any
 
 from repro.common.errors import NodeUnreachableError, ReproError
 from repro.dht.api import BatchFailure, Dht, data_wire_size
+from repro.dht.durable import (
+    backend_path,
+    create_store_backend,
+    resolve_data_dir,
+)
 from repro.dht.peer import HashRing, KeyValuePeer
+from repro.dht.storage import PeerStore
 from repro.net.stats import NetworkStats
 from repro.service.wire import (
     Frame,
@@ -294,6 +300,8 @@ class ServiceDht(Dht):
         transport: str = "asyncio",
         virtual_nodes: int = 1,
         peer_prefix: str = "peer",
+        durability: str | None = None,
+        data_dir: str | None = None,
     ) -> None:
         super().__init__()
         if n_peers < 1:
@@ -304,6 +312,14 @@ class ServiceDht(Dht):
                 f"of {TRANSPORTS}"
             )
         self._transport_kind = transport
+        #: Durable backend kind each actor's store journals into
+        #: (``None``: in-memory only; :meth:`restart` unavailable).
+        self.durability = durability
+        self.data_dir = (
+            resolve_data_dir(data_dir, "service")
+            if durability is not None
+            else None
+        )
         self._ring = HashRing(
             [f"{peer_prefix}-{index:04d}" for index in range(n_peers)],
             virtual_nodes,
@@ -328,9 +344,18 @@ class ServiceDht(Dht):
             self._loop_thread.run(self._start_nodes())
         return self
 
+    def _new_store(self, name: str) -> PeerStore:
+        if self.durability is None:
+            return PeerStore()
+        return PeerStore(
+            backend=create_store_backend(
+                self.durability, backend_path(self.data_dir, name)
+            )
+        )
+
     async def _start_nodes(self) -> None:
         for name in self._ring.peers():
-            actor = _ActorNode(KeyValuePeer(name))
+            actor = _ActorNode(KeyValuePeer(name, self._new_store(name)))
             self._actors[name] = actor
             if self._transport_kind == "tcp":
                 await actor.start_listener()
@@ -352,7 +377,66 @@ class ServiceDht(Dht):
         for channel in self._channels.values():
             await channel.close()
         for actor in self._actors.values():
-            await actor.stop()
+            if not actor.task.done():
+                await actor.stop()
+            actor.peer.store.close_backend()
+
+    # ------------------------------------------------------------------
+    # Membership-ish lifecycle: crash and durable restart
+    # ------------------------------------------------------------------
+    #
+    # Placement is a fixed hash ring, so peers never join or leave —
+    # but an actor can crash and, with durability enabled, come back
+    # holding its pre-crash store.  Ownership never moves while a peer
+    # is down (requests to it fail instead), so restart needs no
+    # reconcile/re-home traffic here: recovery is replay-only.
+
+    def fail(self, name: str) -> None:
+        """Crash one service peer: its actor stops serving, requests to
+        it raise :class:`NodeUnreachableError`, its in-memory store is
+        gone.  Durable state stays on disk for :meth:`restart`."""
+        actor = self._actors.get(name)
+        if actor is None:
+            raise ReproError(f"unknown service peer {name!r}")
+        if actor.task.done():
+            raise ReproError(f"service peer {name!r} is already down")
+        self._bridge().run(self._fail_node(name))
+
+    async def _fail_node(self, name: str) -> None:
+        actor = self._actors[name]
+        channel = self._channels.pop(name, None)
+        if channel is not None:
+            await channel.close()
+        await actor.stop()
+        actor.peer.store.close_backend()
+
+    def _do_restart(self, name: str) -> None:
+        if self.durability is None:
+            raise ReproError(
+                "restart requires a durable backend; build the runtime "
+                "with durability=..."
+            )
+        actor = self._actors.get(name)
+        if actor is None:
+            raise ReproError(f"unknown service peer {name!r}")
+        if not actor.task.done():
+            raise ReproError(f"service peer {name!r} is already live")
+        backend = create_store_backend(
+            self.durability, backend_path(self.data_dir, name)
+        )
+        store = PeerStore.recover(backend)
+        self.stats.restarts += 1
+        self.stats.restart_replayed += len(store)
+        self._bridge().run(self._restart_node(name, store))
+
+    async def _restart_node(self, name: str, store: PeerStore) -> None:
+        actor = _ActorNode(KeyValuePeer(name, store))
+        self._actors[name] = actor
+        if self._transport_kind == "tcp":
+            await actor.start_listener()
+            channel = _TcpChannel()
+            await channel.connect(actor.port)
+            self._channels[name] = channel
 
     def __enter__(self) -> "ServiceDht":
         return self.start()
@@ -386,6 +470,15 @@ class ServiceDht(Dht):
             for pair in actor.peer.store.items()
         ]
 
+    def key_count(self) -> int:
+        """Stored keys via the non-decoding ``keys()`` walk."""
+        if self._loop_thread is None:
+            return 0
+        return self._bridge().run(self._count_keys())
+
+    async def _count_keys(self) -> int:
+        return sum(len(actor.peer.store) for actor in self._actors.values())
+
     def load_by_peer(self, weigh=None) -> dict[str, int]:
         """Per-peer storage load (same contract as ``LocalDht``)."""
         loads = dict.fromkeys(self._ring.peers(), 0)
@@ -414,9 +507,12 @@ class ServiceDht(Dht):
             payload=data_wire_size(value),
         )
         if self._transport_kind == "tcp":
-            reply = await self._channels[actor.peer.name].call(
-                frame_bytes, request_id
-            )
+            channel = self._channels.get(actor.peer.name)
+            if channel is None:  # crashed via fail(): listener is gone
+                raise NodeUnreachableError(
+                    f"service peer {actor.peer.name!r} is down"
+                )
+            reply = await channel.call(frame_bytes, request_id)
         else:
             reply = await actor.call(frame_bytes)
         stats.record_message(
