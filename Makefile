@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-faults trace-smoke bench bench-smoke bench-hotpath bench-dataplane bench-adaptive bench-durable bench-full bench-service experiments experiments-full clean
+.PHONY: install lint test test-faults trace-smoke bench bench-smoke bench-hotpath bench-dataplane bench-adaptive bench-durable bench-mcast bench-full bench-service experiments experiments-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -40,6 +40,10 @@ bench-adaptive:
 bench-durable:
 	REPRO_BENCH_SIZE=12000 $(PYTHON) -m pytest benchmarks/test_durable.py
 	$(PYTHON) -m pytest tests/test_durable.py
+
+bench-mcast:
+	REPRO_BENCH_SIZE=12000 $(PYTHON) -m pytest benchmarks/test_mcast.py
+	$(PYTHON) -m pytest tests/test_mcast.py
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

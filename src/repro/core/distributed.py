@@ -27,13 +27,41 @@ DHT-lookup counts and round counts are *identical* to the
 client-orchestrated engine.  One probe per visited node either way —
 the paper's cost model does not distinguish the two deployments, which
 is why the reproduction can use the fast engine everywhere else.
+
+Fault accounting (the ``forward_all`` audit)
+--------------------------------------------
+
+The engine reconciles batched-plane latency as
+``rounds = max(rounds, batch_rounds)``: *one* client issues *one*
+batched resolution per wave, so the two counters measure the same
+sequence of wire rounds.  That reconciliation must **not** be applied
+here — sibling agents each issue their own ``lookup_many`` at the same
+tree depth, so ``batch_rounds`` *sums across the tree* while ``rounds``
+is the critical path, and a global ``max`` would inflate fault-free
+rounds above the engine's.  Instead each forwarding site accounts for
+its own extra wire rounds locally:
+
+* ``forward`` measures the ``stats.retries`` delta around its owner
+  resolution — under :class:`~repro.dht.retry.RetryingDht` every retry
+  is one more sequential wire round on this hop's critical path;
+* ``forward_all`` measures the ``stats.batch_rounds`` delta around its
+  batched resolution — each retry wave re-issues the failed subset as
+  one more parallel wire round, gating every branch of that step;
+* an owner that stays unreachable after retries (or a dead agent)
+  degrades the branch instead of aborting the query: the subregion is
+  reported upward and surfaces as ``result.unresolved``, mirroring the
+  engine's per-slot degradation on ``get_many_outcomes``.
+
+``query()`` additionally publishes the whole-query ``batch_rounds``
+delta on the builder so observability dashboards can compare the two
+execution models' batching behaviour directly.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from repro.common.errors import ReproError
+from repro.common.errors import NodeUnreachableError, ReproError
 from repro.common.geometry import Region, clip, region_of_label
 from repro.common.labels import branch_nodes_between
 from repro.core.keys import bucket_key
@@ -42,11 +70,64 @@ from repro.core.naming import naming_function
 from repro.core.rangequery import compute_lca
 from repro.core.results import RangeQueryBuilder, RangeQueryResult
 from repro.core.records import Record
-from repro.dht.api import Dht
+from repro.dht.api import BatchFailure, Dht
 from repro.net.message import Message
 
 #: Suffix appended to a peer's network address for its query agent.
 AGENT_SUFFIX = "#mlight"
+
+#: The (records, visited leaf labels, subtree rounds, unresolved
+#: subregions) tuple every agent RPC returns.
+AgentResult = tuple[list[Record], list[str], int, list[Region]]
+
+
+def split_region(
+    bucket: Any, target: str, subquery: Region, query: Region, dims: int
+) -> tuple[list[Record], str, list[tuple[str, Region]]]:
+    """One recursive-split step of Section 6, as a pure function.
+
+    The peer owning ``fmd(target)`` holds *bucket*; return its matches
+    against *query*, its leaf label, and the clipped branch subqueries
+    to forward onward (empty when the leaf is ancestor-or-self of
+    *target*, i.e. one leaf covers the whole subquery).  Shared by the
+    simulated peer agents here and the service-plane multicast
+    handlers in :mod:`repro.mcast.service`.
+    """
+    label = bucket.label
+    if target.startswith(label):
+        return list(bucket.matching(query)), label, []
+    if not label.startswith(target):
+        raise ReproError(
+            f"leaf {label!r} is not prefix-comparable with "
+            f"target {target!r}"
+        )
+    records = list(bucket.matching(query))
+    branches = []
+    for branch in branch_nodes_between(label, target, dims):
+        clipped = clip(subquery, region_of_label(branch, dims))
+        if clipped is not None:
+            branches.append((branch, clipped))
+    return records, label, branches
+
+
+def _find_substrate(dht: Dht) -> Dht:
+    """Walk the wrapper chain (``RetryingDht``/``FaultyDht`` expose
+    ``.inner``) down to the routed substrate that owns peers and a
+    network.  The *outer* dht keeps doing the metered operations so
+    retries and injected faults stay on the wire path."""
+    candidate: Any = dht
+    while candidate is not None:
+        if (
+            getattr(candidate, "_nodes", None)
+            and getattr(candidate, "network", None) is not None
+        ):
+            return candidate
+        candidate = getattr(candidate, "inner", None)
+    raise ReproError(
+        "distributed execution needs a routed substrate with "
+        "peers (Chord/Kademlia/Pastry); LocalDht has no peers "
+        "to host agents on"
+    )
 
 
 class PeerQueryAgent:
@@ -55,7 +136,7 @@ class PeerQueryAgent:
     def __init__(self, runtime: "DistributedQueryRuntime", node: Any) -> None:
         self._runtime = runtime
         self._node = node
-        self.address = node.name + AGENT_SUFFIX
+        self.address = node.name + runtime.suffix
 
     def handle_rpc(self, message: Message) -> Any:
         args, kwargs = message.payload
@@ -65,13 +146,13 @@ class PeerQueryAgent:
 
     def execute(
         self, target: str, subquery: Region, query: Region
-    ) -> tuple[list[Record], list[str], int]:
+    ) -> AgentResult:
         """Process a subquery this peer received for node *target*.
 
         Returns (matching records, visited leaf labels, rounds consumed
-        by this subtree).  The bucket named ``fmd(target)`` is read from
-        the local store — this peer owns it, that is why the subquery
-        was routed here.
+        by this subtree, unresolved subregions).  The bucket named
+        ``fmd(target)`` is read from the local store — this peer owns
+        it, that is why the subquery was routed here.
         """
         runtime = self._runtime
         name = naming_function(target, runtime.dims)
@@ -80,137 +161,225 @@ class PeerQueryAgent:
         if bucket is None:
             return self._fallback(target, subquery, query)
 
-        label = bucket.label
-        if target.startswith(label):
+        records, label, branches = split_region(
+            bucket, target, subquery, query, runtime.dims
+        )
+        if not branches:
             # Ancestor-or-self: one leaf covers the whole subquery.
-            return list(bucket.matching(query)), [label], 0
+            return records, [label], 0, []
 
-        if not label.startswith(target):
-            raise ReproError(
-                f"leaf {label!r} at name {name!r} is not "
-                f"prefix-comparable with target {target!r}"
-            )
-
-        records = list(bucket.matching(query))
         visited = [label]
-        branches = []
-        for branch in branch_nodes_between(label, target, runtime.dims):
-            clipped = clip(
-                subquery, region_of_label(branch, runtime.dims)
-            )
-            if clipped is not None:
-                branches.append((branch, clipped))
         deepest = 0
-        for child_records, child_visited, child_rounds in runtime.forward_all(
-            self._node.name, branches, query
-        ):
+        unresolved: list[Region] = []
+        for (
+            child_records,
+            child_visited,
+            child_rounds,
+            child_unresolved,
+        ) in runtime.forward_all(self._node.name, branches, query):
             records.extend(child_records)
             visited.extend(child_visited)
+            unresolved.extend(child_unresolved)
             deepest = max(deepest, child_rounds)
-        return records, visited, deepest
+        return records, visited, deepest, unresolved
 
     def _fallback(
         self, target: str, subquery: Region, query: Region
-    ) -> tuple[list[Record], list[str], int]:
+    ) -> AgentResult:
         """Missing target: its covering leaf is an ancestor; find it by
         a bounded point lookup issued from this peer."""
         runtime = self._runtime
-        found = lookup_point(
-            runtime.dht,
-            subquery.lows,
-            runtime.dims,
-            runtime.max_depth,
-            max_label_length=len(target) - 1,
-        )
+        try:
+            found = lookup_point(
+                runtime.dht,
+                subquery.lows,
+                runtime.dims,
+                runtime.max_depth,
+                max_label_length=len(target) - 1,
+            )
+        except NodeUnreachableError:
+            # The covering leaf's owner stayed unreachable through the
+            # retry budget — degrade this subregion, don't abort.
+            return [], [], 0, [subquery]
         bucket = found.bucket
         return (
             list(bucket.matching(query)),
             [bucket.label],
             found.rounds,
+            [],
         )
 
 
 class DistributedQueryRuntime:
     """Installs query agents on every peer of a routed DHT and runs
-    range queries by actual peer-to-peer forwarding."""
+    range queries by actual peer-to-peer forwarding.
+
+    *dht* may be the routed substrate itself or a wrapper chain
+    (``RetryingDht``, ``FaultyDht``) around it — metered operations go
+    through the outermost layer while agents live on the substrate's
+    peers, so the runtime inherits retry resilience and fault
+    injection exactly like the client engine does.
+    """
+
+    #: Network-address suffix for this runtime's agents.  Subclasses
+    #: (the multicast plane) use their own so both runtimes can coexist
+    #: on one network.
+    suffix = AGENT_SUFFIX
 
     def __init__(self, dht: Dht, dims: int, max_depth: int) -> None:
-        nodes = getattr(dht, "_nodes", None)
-        network = getattr(dht, "network", None)
-        if not nodes or network is None:
-            raise ReproError(
-                "distributed execution needs a routed substrate with "
-                "peers (Chord/Kademlia/Pastry); LocalDht has no peers "
-                "to host agents on"
-            )
+        substrate = _find_substrate(dht)
         self.dht = dht
         self.dims = dims
         self.max_depth = max_depth
-        self._network = network
+        self._substrate = substrate
+        self._network = substrate.network
         self._agents: dict[str, PeerQueryAgent] = {}
-        for node in nodes.values():
-            agent = PeerQueryAgent(self, node)
+        self.refresh_agents()
+
+    def _make_agent(self, node: Any) -> PeerQueryAgent:
+        return PeerQueryAgent(self, node)
+
+    def refresh_agents(self) -> None:
+        """(Re)register one query agent per currently-live peer.
+
+        Churn invalidates agent registrations two ways: ``fail``
+        removes the peer's main address but leaves the agent address
+        bound to the dead node object, and ``restart`` builds a *new*
+        node object the stale agent never sees.  Experiments call this
+        after churn to re-point agents at the current node set; the
+        constructor uses it for the initial registration.
+        """
+        network = self._network
+        for agent in self._agents.values():
+            network.unregister(agent.address)
+        self._agents = {}
+        for node in self._substrate._nodes.values():
+            agent = self._make_agent(node)
             network.register(agent.address, agent)
             self._agents[node.name] = agent
 
+    # ------------------------------------------------------------------
+    # Owner resolution (override point for the multicast plane)
+    # ------------------------------------------------------------------
+
+    def _resolve_target(self, src_peer: str, key: str) -> str:
+        """Resolve *key*'s owner on behalf of *src_peer*.
+
+        The base runtime issues a client-metered DHT-lookup; the
+        multicast plane overrides this to route natively from
+        *src_peer*'s own overlay position.
+        """
+        return self.dht.lookup(key)
+
+    def _resolve_targets(
+        self, src_peer: str, keys: list[str]
+    ) -> list[Any]:
+        """Batch variant of :meth:`_resolve_target`; per-slot outcomes
+        (owner name or :class:`BatchFailure`)."""
+        return self.dht.lookup_many_outcomes(keys)
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+
     def forward(
         self, src_peer: str, target: str, subquery: Region, query: Region
-    ) -> tuple[list[Record], list[str], int]:
+    ) -> AgentResult:
         """Route a subquery to the owner of ``fmd(target)``.
 
-        One DHT-lookup (the routing) plus one agent message; the child's
-        round count is incremented by the hop.
+        One DHT-lookup (the routing) plus one agent message; the
+        child's round count is incremented by the hop, plus one
+        sequential round per retried resolution attempt.  An owner
+        that stays unreachable degrades the subregion to unresolved.
         """
         name = naming_function(target, self.dims)
-        owner = self.dht.lookup(bucket_key(name))
-        records, visited, rounds = self._network.rpc(
-            src_peer + AGENT_SUFFIX,
-            owner + AGENT_SUFFIX,
-            "execute",
-            target,
-            subquery,
-            query,
-        )
-        return records, visited, rounds + 1
+        stats = self.dht.stats
+        retries_before = stats.retries
+        try:
+            owner = self._resolve_target(src_peer, bucket_key(name))
+        except NodeUnreachableError:
+            return [], [], stats.retries - retries_before, [subquery]
+        # Each retried lookup attempt was one more wire round spent
+        # sequentially on this hop (satellite-1 fix: the old code
+        # reported `rounds + 1` regardless of retries).
+        extra = stats.retries - retries_before
+        try:
+            records, visited, rounds, unresolved = self._network.rpc(
+                src_peer + self.suffix,
+                owner + self.suffix,
+                "execute",
+                target,
+                subquery,
+                query,
+            )
+        except NodeUnreachableError:
+            return [], [], 1 + extra, [subquery]
+        return records, visited, rounds + 1 + extra, unresolved
 
     def forward_all(
         self,
         src_peer: str,
         branches: list[tuple[str, Region]],
         query: Region,
-    ) -> list[tuple[list[Record], list[str], int]]:
+    ) -> list[AgentResult]:
         """Forward one agent's branch subqueries as one parallel round.
 
         This is the paper's "Ri is forwarded to βi" step executed the
         way Section 6 narrates it — all branch subqueries of one node
-        go out together: one ``lookup_many`` resolves every owner, then
-        the agent messages ride a single network message round (each
-        forward its own chain).  Per-branch costs are unchanged — one
-        DHT-lookup plus one agent message each, child rounds
-        incremented by the hop — only the latency structure is
-        parallel.
+        go out together: one batched resolution finds every owner,
+        then the agent messages ride a single network message round
+        (each forward its own chain).  Per-branch costs are unchanged
+        — one DHT-lookup plus one agent message each, child rounds
+        incremented by the hop.  Retried resolution waves each add one
+        parallel wire round gating the whole step; branches whose
+        owner stays unreachable (or whose agent RPC fails) degrade to
+        unresolved subregions instead of aborting the query.
         """
         if not branches:
             return []
-        owners = self.dht.lookup_many(
-            [
-                bucket_key(naming_function(target, self.dims))
-                for target, _ in branches
+        keys = [
+            bucket_key(naming_function(target, self.dims))
+            for target, _ in branches
+        ]
+        stats = self.dht.stats
+        batch_before = stats.batch_rounds
+        try:
+            outcomes = self._resolve_targets(src_peer, keys)
+        except NodeUnreachableError:
+            # Whole-batch resolution failure (unwrapped FaultyDht):
+            # every branch degrades.
+            extra = max(0, stats.batch_rounds - batch_before - 1)
+            return [
+                ([], [], extra, [subquery]) for _, subquery in branches
             ]
-        )
-        results = []
+        # Each retry wave re-issued the failed subset as its own batch
+        # round; those rounds gate every branch of this parallel step.
+        extra = max(0, stats.batch_rounds - batch_before - 1)
+        results: list[AgentResult] = []
         with self._network.message_round() as round_:
-            for (target, subquery), owner in zip(branches, owners):
+            for (target, subquery), outcome in zip(branches, outcomes):
+                if isinstance(outcome, BatchFailure):
+                    results.append(([], [], extra, [subquery]))
+                    continue
                 with round_.chain():
-                    records, visited, rounds = self._network.rpc(
-                        src_peer + AGENT_SUFFIX,
-                        owner + AGENT_SUFFIX,
-                        "execute",
-                        target,
-                        subquery,
-                        query,
+                    try:
+                        payload = self._network.rpc(
+                            src_peer + self.suffix,
+                            outcome + self.suffix,
+                            "execute",
+                            target,
+                            subquery,
+                            query,
+                        )
+                    except NodeUnreachableError:
+                        payload = None
+                if payload is None:
+                    results.append(([], [], 1 + extra, [subquery]))
+                else:
+                    records, visited, rounds, unresolved = payload
+                    results.append(
+                        (records, visited, rounds + 1 + extra, unresolved)
                     )
-                results.append((records, visited, rounds + 1))
         return results
 
     def query(
@@ -222,13 +391,18 @@ class DistributedQueryRuntime:
         if initiator not in self._agents:
             raise ReproError(f"unknown initiator peer {initiator!r}")
         lca = compute_lca(query, self.dims, self.max_depth)
-        lookups_before = self.dht.stats.lookups
-        records, visited, rounds = self.forward(
+        stats = self.dht.stats
+        lookups_before = stats.lookups
+        batch_before = stats.batch_rounds
+        records, visited, rounds, unresolved = self.forward(
             initiator, lca, query, query
         )
         builder = RangeQueryBuilder()
         builder.records.extend(records)
         builder.visited_leaves.update(visited)
         builder.rounds = rounds
-        builder.lookups = self.dht.stats.lookups - lookups_before
+        builder.lookups = stats.lookups - lookups_before
+        builder.batch_rounds = stats.batch_rounds - batch_before
+        for region in unresolved:
+            builder.mark_unresolved(region)
         return builder.build()

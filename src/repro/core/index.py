@@ -128,6 +128,7 @@ class MLightIndex:
             batched=self._batched,
             tracer=tracer,
         )
+        self._dissemination: Any | None = None
         self._bootstrap()
 
     @classmethod
@@ -193,6 +194,23 @@ class MLightIndex:
         """The attached tracer; None when tracing is disabled."""
         return self._tracer
 
+    @property
+    def dissemination(self) -> Any | None:
+        """The attached continuous-query plane, if any."""
+        return self._dissemination
+
+    def attach_dissemination(self, plane: Any) -> None:
+        """Attach a dissemination plane observing structural events.
+
+        The plane (see :class:`repro.mcast.ContinuousQueryPlane`) gets
+        ``on_insert(leaf_label, record)`` after a record lands,
+        ``on_split(plan)`` after a split's buckets are re-homed, and
+        ``on_merge(parent_label, child_a, child_b)`` after each merge
+        step — the hooks that let subscription tables ride Theorem 5's
+        exactly-one-bucket maintenance.
+        """
+        self._dissemination = plane
+
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
@@ -237,6 +255,10 @@ class MLightIndex:
         bucket.add(record)
         self._dht.stats.records_moved += 1
         self._dht.rewrite_local(self._key_of(bucket), bucket)
+        if self._dissemination is not None:
+            # Push before any split: the subscription table is still
+            # homed at the pre-split leaf the record landed in.
+            self._dissemination.on_insert(bucket.label, record)
         plan = self._strategy.plan_split(
             bucket.label, bucket.records, self.dims, self.max_depth
         )
@@ -453,6 +475,8 @@ class MLightIndex:
             self._cache.forget(plan.origin)
             for leaf_label, _ in plan.leaves:
                 self._cache.observe(leaf_label)
+        if self._dissemination is not None:
+            self._dissemination.on_split(plan)
 
     def _maybe_merge(self, bucket: LeafBucket) -> None:
         """Cascade sibling merges upward while the strategy approves.
@@ -496,4 +520,8 @@ class MLightIndex:
                 self._cache.forget(bucket.label)
                 self._cache.forget(other.label)
                 self._cache.observe(merged.label)
+            if self._dissemination is not None:
+                self._dissemination.on_merge(
+                    parent_label, bucket.label, other.label
+                )
             bucket = merged

@@ -111,6 +111,15 @@ def compute_lca(query: Region, dims: int, max_depth: int) -> str:
 
     Computed locally by the query initiator — space partitioning is
     data independent, so no communication is needed (Section 6).
+
+    Boundary semantics are deliberately mixed: the query is closed,
+    cells are half-open, and ``cell_resolves_query`` accepts a query
+    face on the cell's upper face only at the global boundary 1.0.  At
+    most one child can resolve at each level, so greedy descent finds
+    *the* LCA; ``tests/test_rangequery.py`` codifies this against an
+    exhaustive point-level baseline for dims 1–4, including faces on
+    binary split planes (this is also the label prefix multicast
+    routes to, so a wrong LCA would silently drop matches).
     """
     label = root_label(dims)
     while label_depth(label, dims) < max_depth:

@@ -193,6 +193,17 @@ class DhtStats:
     They count *injections*, not costs: a dropped probe was still
     metered in ``lookups``/``gets``.
 
+    The dissemination counters meter the prefix-multicast and
+    continuous-query plane (:mod:`repro.mcast`): ``mcasts`` — range
+    queries the initiator dispatched as a *single* routed message to
+    the LCA owner (the O(1) initiator-message gate), ``mcast_forwards``
+    — peer-to-peer subquery forwards travelling down the label tree
+    (each embeds one owner resolution, metered in ``lookups`` so the
+    paper's bandwidth measure stays comparable with client fan-out),
+    ``subscribes`` — continuous range queries installed, and
+    ``pushes`` — subscription messages delivered to clients (matching
+    records and proactive re-homing invalidations alike).
+
     The ``restart_*`` counters meter crash recovery on a durable
     substrate (:mod:`repro.dht.durable`): ``restarts`` — how many
     peers came back through :meth:`Dht.restart`,
@@ -227,6 +238,10 @@ class DhtStats:
     faults_timed_out: int = 0
     faults_slowed: int = 0
     faults_stale: int = 0
+    mcasts: int = 0
+    mcast_forwards: int = 0
+    subscribes: int = 0
+    pushes: int = 0
     restarts: int = 0
     restart_replayed: int = 0
     restart_reconciled: int = 0
@@ -454,15 +469,26 @@ class Dht(ABC):
 
     def lookup_many(self, keys: Sequence[str]) -> list[str]:
         """Locate the responsible peers for several keys in one round."""
+        return _raise_batch_failures(self.lookup_many_outcomes(keys))
+
+    def lookup_many_outcomes(self, keys: Sequence[str]) -> list[Any]:
+        """Like :meth:`lookup_many`, reporting per-slot failures.
+
+        Identical metering, but an unreachable element yields a
+        :class:`BatchFailure` in its slot instead of aborting the
+        round — the peer-forwarding runtime degrades per branch on
+        this, exactly as the engine does on
+        :meth:`get_many_outcomes`.
+        """
         keys = list(keys)
         if not keys:
             return []
         self.stats.meter_batch(len(keys))
         tracer = self.tracer
         if tracer is None:
-            return _raise_batch_failures(self._do_lookup_many(keys))
+            return self._do_lookup_many(keys)
         with tracer.span("dht", "lookup_many", count=len(keys)):
-            return _raise_batch_failures(self._do_lookup_many(keys))
+            return self._do_lookup_many(keys)
 
     def restart(self, name: str) -> None:
         """Bring a crashed peer back from its durable state.

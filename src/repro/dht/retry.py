@@ -288,15 +288,18 @@ class RetryingDht(Dht):
         ))
 
     def lookup_many(self, keys: Sequence[str]) -> list[str]:
+        return _raise_batch_failures(self.lookup_many_outcomes(keys))
+
+    def lookup_many_outcomes(self, keys: Sequence[str]) -> list[Any]:
         keys = list(keys)
         if not keys:
             return []
-        return _raise_batch_failures(self._batch_with_retries(
+        return self._batch_with_retries(
             "lookup_many",
             self._inner._do_lookup_many,
             keys,
             lambda pending: self.stats.meter_batch(len(pending)),
-        ))
+        )
 
     def rewrite_local(self, key: str, value: Any) -> None:
         # Local rewrites never cross the wire; no retry needed.

@@ -23,6 +23,7 @@ from repro.experiments import (
     charts,
     churn_experiment,
     fault_experiment,
+    mcast_experiment,
     restart_experiment,
     fig5,
     fig6,
@@ -155,6 +156,18 @@ def main(argv: list[str] | None = None) -> int:
     print("\n=== Extension E14: crash-restart recovery ===")
     print(restart_experiment.render(
         restart_experiment.run_restart_recovery(
+            tiny, config, seed=args.seed
+        )
+    ))
+
+    print("\n=== Extension E15: prefix multicast + continuous queries ===")
+    print(mcast_experiment.render_multicast(
+        mcast_experiment.run_multicast_efficiency(
+            tiny, config, seed=args.seed
+        )
+    ))
+    print(mcast_experiment.render_continuous(
+        mcast_experiment.run_continuous_query(
             tiny, config, seed=args.seed
         )
     ))

@@ -1,0 +1,258 @@
+"""Prefix multicast and push delivery over the asyncio service runtime.
+
+The simulated planes (:mod:`repro.mcast.runtime`,
+:mod:`repro.mcast.continuous`) ride ``SimNetwork`` RPCs; this module
+speaks the real framed wire protocol instead, using the two extension
+opcodes:
+
+* :class:`ServiceMulticast` — the client sends **one** ``MCAST`` frame
+  to the owner of ``fmd(LCA(R))``; that peer's handler splits the
+  region against its local bucket and forwards sub-region ``MCAST``
+  frames peer-to-peer (spawned actor tasks, so a peer can forward to
+  itself), aggregation flowing back up through the replies.  Cost
+  accounting mirrors :class:`~repro.core.distributed` exactly, so
+  answers and every :class:`~repro.dht.api.DhtStats` meter except the
+  ``mcast*`` counters agree with the client-orchestrated engine.
+* :class:`ServiceContinuousPlane` — deliveries travel as ``PUSH``
+  frames: the writing client asks the subscription table's owner
+  (a request frame), and the owner emits the *unsolicited*
+  server-to-client ``PUSH`` frame (``request_id == 0``) that the
+  client-side push sink dispatches to the local
+  :class:`~repro.mcast.continuous.Subscriber` — the one direction the
+  request/reply protocol otherwise lacks.
+
+Handlers and the push sink are installed through
+``ServiceDht.install_handler`` / ``set_push_sink``, which re-apply
+them on restart, so continuous queries survive a crash-restart cycle
+on a durable ring the same way they do on the simulated substrates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.common.errors import NodeUnreachableError, ReproError
+from repro.common.geometry import Region
+from repro.core.distributed import AgentResult, split_region
+from repro.core.keys import bucket_key
+from repro.core.lookup import PointLookupCursor
+from repro.core.naming import naming_function
+from repro.core.rangequery import compute_lca
+from repro.core.results import RangeQueryBuilder, RangeQueryResult
+from repro.dht.api import Dht
+from repro.mcast.continuous import ContinuousQueryPlane
+from repro.service.wire import Op, encode_frame, encode_reply
+
+
+def _find_service(dht: Dht) -> Any:
+    """The :class:`~repro.service.node.ServiceDht` under *dht*'s
+    wrapper chain (``RetryingDht``/``FaultyDht`` expose ``.inner``)."""
+    candidate: Any = dht
+    while candidate is not None:
+        if hasattr(candidate, "install_handler"):
+            return candidate
+        candidate = getattr(candidate, "inner", None)
+    raise ReproError(
+        "the service dissemination plane needs the asyncio service "
+        "runtime (ServiceDht); simulated substrates use "
+        "repro.mcast.runtime / repro.mcast.continuous instead"
+    )
+
+
+class ServiceMulticast:
+    """Prefix multicast spoken as ``MCAST`` wire frames.
+
+    *dht* may be the ``ServiceDht`` itself or a wrapper chain around
+    it; metered state (``dht.stats``) lives on the outer facade while
+    frames travel through the service runtime underneath.
+    """
+
+    def __init__(self, dht: Dht, dims: int, max_depth: int) -> None:
+        self.dht = dht
+        self.dims = dims
+        self.max_depth = max_depth
+        self._service = _find_service(dht)
+        self._service.install_handler(Op.MCAST, self._handle_mcast)
+
+    # ------------------------------------------------------------------
+    # Client side: one initiator-originated frame per query
+    # ------------------------------------------------------------------
+
+    def query(self, query: Region) -> RangeQueryResult:
+        """Run *query* with one initiator-originated ``MCAST`` frame."""
+        stats = self.dht.stats
+        stats.mcasts += 1
+        lookups_before = stats.lookups
+        batch_before = stats.batch_rounds
+        lca = compute_lca(query, self.dims, self.max_depth)
+        # Routing the one initiator message: one DHT-lookup, one
+        # forward — the same accounting MulticastRuntime._resolve_target
+        # applies, so meters agree across runtimes.
+        stats.lookups += 1
+        stats.mcast_forwards += 1
+        key = bucket_key(naming_function(lca, self.dims))
+        try:
+            records, visited, rounds, unresolved = self._service._call(
+                Op.MCAST, key, body=(lca, query, query)
+            )
+            rounds += 1
+        except NodeUnreachableError:
+            records, visited, rounds, unresolved = [], [], 1, [query]
+        builder = RangeQueryBuilder()
+        builder.records.extend(records)
+        builder.visited_leaves.update(visited)
+        builder.rounds = rounds
+        builder.lookups = stats.lookups - lookups_before
+        builder.batch_rounds = stats.batch_rounds - batch_before
+        for region in unresolved:
+            builder.mark_unresolved(region)
+        return builder.build()
+
+    # ------------------------------------------------------------------
+    # Peer side: the MCAST handler (runs on the owning actor)
+    # ------------------------------------------------------------------
+
+    async def _handle_mcast(self, peer: Any, frame: Any) -> bytes:
+        target, subquery, query = frame.body
+        result = await self._execute(peer, target, subquery, query)
+        return encode_reply(frame.request_id, result)
+
+    async def _execute(
+        self, peer: Any, target: str, subquery: Region, query: Region
+    ) -> AgentResult:
+        stats = self.dht.stats
+        name = naming_function(target, self.dims)
+        bucket = peer.store.get(bucket_key(name))
+        if bucket is None:
+            return await self._fallback(target, subquery, query)
+        records, label, branches = split_region(
+            bucket, target, subquery, query, self.dims
+        )
+        if not branches:
+            return records, [label], 0, []
+        keys = [
+            bucket_key(naming_function(branch, self.dims))
+            for branch, _ in branches
+        ]
+        # One batched resolution per node, like forward_all: the branch
+        # frames go out together as one parallel round.
+        stats.meter_batch(len(keys))
+        stats.mcast_forwards += len(keys)
+        outcomes = await asyncio.gather(
+            *(
+                self._forward(key, branch, sub, query)
+                for key, (branch, sub) in zip(keys, branches)
+            )
+        )
+        visited = [label]
+        deepest = 0
+        unresolved: list[Region] = []
+        for (
+            child_records,
+            child_visited,
+            child_rounds,
+            child_unresolved,
+        ) in outcomes:
+            records.extend(child_records)
+            visited.extend(child_visited)
+            unresolved.extend(child_unresolved)
+            deepest = max(deepest, child_rounds)
+        return records, visited, deepest, unresolved
+
+    async def _forward(
+        self, key: str, target: str, subquery: Region, query: Region
+    ) -> AgentResult:
+        try:
+            records, visited, rounds, unresolved = (
+                await self._service._request(
+                    Op.MCAST, key, body=(target, subquery, query)
+                )
+            )
+        except NodeUnreachableError:
+            return [], [], 1, [subquery]
+        return records, visited, rounds + 1, unresolved
+
+    async def _fallback(
+        self, target: str, subquery: Region, query: Region
+    ) -> AgentResult:
+        """Missing target bucket: find the covering ancestor leaf by a
+        bounded point lookup, issued as GET frames from this actor."""
+        stats = self.dht.stats
+        cursor = PointLookupCursor(
+            stats,
+            subquery.lows,
+            self.dims,
+            self.max_depth,
+            max_label_length=len(target) - 1,
+        )
+        while not cursor.done:
+            key = cursor.current_key()
+            # Metered like Dht.get — one DHT-lookup, one get per probe.
+            stats.lookups += 1
+            stats.gets += 1
+            try:
+                bucket = await self._service._request(Op.GET, key)
+            except NodeUnreachableError:
+                if not cursor.probe_failed():
+                    return [], [], cursor.probes, [subquery]
+                continue
+            cursor.advance(bucket)
+        found = cursor.result
+        bucket = found.bucket
+        return (
+            list(bucket.matching(query)),
+            [bucket.label],
+            found.rounds,
+            [],
+        )
+
+
+class ServiceContinuousPlane(ContinuousQueryPlane):
+    """Continuous range queries whose deliveries are ``PUSH`` frames.
+
+    Same client API and re-homing logic as the base plane; only
+    delivery differs.  Each push is a request frame to the table
+    owner's actor, which emits the unsolicited ``request_id == 0``
+    ``PUSH`` frame a client-side sink dispatches to the local
+    :class:`~repro.mcast.continuous.Subscriber`.
+    """
+
+    def __init__(self, index: Any) -> None:
+        self._service = _find_service(index.dht)
+        super().__init__(index)
+        self._service.install_handler(Op.PUSH, self._handle_push)
+        self._service.set_push_sink(self._on_push_frame)
+
+    async def _handle_push(self, peer: Any, frame: Any) -> bytes:
+        delivered = await self._service.push_to_clients(
+            peer.name, encode_frame(Op.PUSH, 0, frame.body)
+        )
+        return encode_reply(frame.request_id, delivered)
+
+    def _on_push_frame(self, frame: Any) -> None:
+        """Client-side sink for unsolicited frames."""
+        if frame.op is not Op.PUSH:
+            return
+        client, method, args = frame.body
+        subscriber = self._subscribers.get(client)
+        if subscriber is None:
+            return
+        if method == "push":
+            subscriber.receive(args[0])
+        else:
+            subscriber.invalidate(args[0], args[1])
+
+    def _deliver(
+        self, key: str | None, entry: Any, method: str, *args: Any
+    ) -> None:
+        self._dht.stats.pushes += 1
+        # Invalidations have no table key; any actor can emit the
+        # frame, so route by the client id instead.
+        route_key = key if key is not None else entry.client
+        try:
+            self._service._call(
+                Op.PUSH, route_key, body=(entry.client, method, list(args))
+            )
+        except NodeUnreachableError:
+            pass  # owner (or client) gone mid-push; drop like the sim

@@ -46,6 +46,7 @@ from repro.service.wire import (
     Op,
     decode_frame,
     encode_error,
+    encode_frame,
     encode_reply,
     encode_request,
     frame_wire_cost,
@@ -137,9 +138,25 @@ class _ActorNode:
     frames over real sockets, one connection handler per client.
     """
 
-    def __init__(self, peer: KeyValuePeer) -> None:
+    def __init__(
+        self,
+        peer: KeyValuePeer,
+        handlers: dict[int, Any] | None = None,
+    ) -> None:
         self.peer = peer
         self.inbox: asyncio.Queue = asyncio.Queue()
+        #: Extension dispatch: ``Op -> async handler(peer, frame) ->
+        #: reply bytes``.  Extension frames run as *spawned tasks* so a
+        #: handler that forwards to other actors (prefix multicast, and
+        #: in particular to *this* actor again) never deadlocks the
+        #: sequential inbox/connection loop behind its own reply.
+        self.handlers: dict[int, Any] = dict(handlers or {})
+        #: In-process delivery target for unsolicited frames (the
+        #: asyncio-transport stand-in for a server->client socket
+        #: write); installed by the runtime's ``set_push_sink``.
+        self.push_sink: Any | None = None
+        self._connections: set[tuple[Any, asyncio.Lock]] = set()
+        self._ext_tasks: set[asyncio.Task] = set()
         self.task = asyncio.create_task(
             self._serve(), name=f"repro-node-{peer.name}"
         )
@@ -169,30 +186,107 @@ class _ActorNode:
                 break
             frame_bytes, future = item
             try:
-                reply = serve_request(self.peer, decode_frame(frame_bytes))
+                frame = decode_frame(frame_bytes)
             except Exception as exc:  # undecodable request frame
-                reply = encode_error(0, exc)
+                if not future.done():
+                    future.set_result(encode_error(0, exc))
+                continue
+            handler = self.handlers.get(frame.op)
+            if handler is not None:
+                self._spawn_ext(handler, frame, future)
+                continue
+            reply = serve_request(self.peer, frame)
             if not future.done():
                 future.set_result(reply)
 
+    def _spawn_ext(self, handler, frame: Frame, future) -> None:
+        task = asyncio.create_task(
+            self._serve_ext(handler, frame, future),
+            name=f"repro-ext-{self.peer.name}-{frame.op}",
+        )
+        self._ext_tasks.add(task)
+        task.add_done_callback(self._ext_tasks.discard)
+
+    async def _serve_ext(self, handler, frame: Frame, future) -> None:
+        try:
+            reply = await handler(self.peer, frame)
+        except Exception as exc:
+            reply = encode_error(frame.request_id, exc)
+        if future is not None and not future.done():
+            future.set_result(reply)
+
     async def _handle_connection(self, reader, writer) -> None:
         decoder = FrameDecoder()
+        # Extension handlers reply out of order from spawned tasks, so
+        # socket writes interleave behind one lock per connection.
+        lock = asyncio.Lock()
+        entry = (writer, lock)
+        self._connections.add(entry)
         try:
             while True:
                 data = await reader.read(_READ_CHUNK)
                 if not data:
                     break
                 for frame in decoder.feed(data):
-                    writer.write(serve_request(self.peer, frame))
-                await writer.drain()
+                    handler = self.handlers.get(frame.op)
+                    if handler is not None:
+                        task = asyncio.create_task(
+                            self._serve_connection_ext(
+                                handler, frame, writer, lock
+                            )
+                        )
+                        self._ext_tasks.add(task)
+                        task.add_done_callback(self._ext_tasks.discard)
+                        continue
+                    async with lock:
+                        writer.write(serve_request(self.peer, frame))
+                        await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
+            self._connections.discard(entry)
             writer.close()
+
+    async def _serve_connection_ext(
+        self, handler, frame: Frame, writer, lock: asyncio.Lock
+    ) -> None:
+        try:
+            reply = await handler(self.peer, frame)
+        except Exception as exc:
+            reply = encode_error(frame.request_id, exc)
+        try:
+            async with lock:
+                writer.write(reply)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def push(self, frame_bytes: bytes) -> int:
+        """Deliver one unsolicited frame (``request_id == 0``) to the
+        connected client(s), or to the in-process push sink on the
+        inbox transport.  Returns the number of deliveries."""
+        delivered = 0
+        if self._connections:
+            for writer, lock in list(self._connections):
+                try:
+                    async with lock:
+                        writer.write(frame_bytes)
+                        await writer.drain()
+                    delivered += 1
+                except (ConnectionError, OSError):
+                    continue
+        elif self.push_sink is not None:
+            self.push_sink(decode_frame(frame_bytes))
+            delivered += 1
+        return delivered
 
     async def stop(self) -> None:
         self.inbox.put_nowait(None)
         await self.task
+        if self._ext_tasks:
+            await asyncio.gather(
+                *list(self._ext_tasks), return_exceptions=True
+            )
         if self.server is not None:
             self.server.close()
             await self.server.wait_closed()
@@ -211,6 +305,9 @@ class _TcpChannel:
         self._writer = None
         self._reader_task: asyncio.Task | None = None
         self._pending: dict[int, asyncio.Future] = {}
+        #: Receives frames with no pending request (unsolicited
+        #: server-to-client pushes, ``request_id == 0``).
+        self.push_sink: Any | None = None
 
     async def connect(self, port: int) -> None:
         self._reader, self._writer = await asyncio.open_connection(
@@ -234,8 +331,11 @@ class _TcpChannel:
                     break
                 for frame in decoder.feed(data):
                     future = self._pending.pop(frame.request_id, None)
-                    if future is not None and not future.done():
-                        future.set_result(frame)
+                    if future is not None:
+                        if not future.done():
+                            future.set_result(frame)
+                    elif self.push_sink is not None:
+                        self.push_sink(frame)
         except (ConnectionError, OSError):
             pass
         finally:
@@ -329,6 +429,10 @@ class ServiceDht(Dht):
         self._loop_thread: _LoopThread | None = None
         self._actors: dict[str, _ActorNode] = {}
         self._channels: dict[str, _TcpChannel] = {}
+        #: Extension handlers / push sink, re-applied on (re)start so a
+        #: restarted actor keeps serving the dissemination opcodes.
+        self._handlers: dict[int, Any] = {}
+        self._push_sink: Any | None = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -355,11 +459,15 @@ class ServiceDht(Dht):
 
     async def _start_nodes(self) -> None:
         for name in self._ring.peers():
-            actor = _ActorNode(KeyValuePeer(name, self._new_store(name)))
+            actor = _ActorNode(
+                KeyValuePeer(name, self._new_store(name)), self._handlers
+            )
+            actor.push_sink = self._push_sink
             self._actors[name] = actor
             if self._transport_kind == "tcp":
                 await actor.start_listener()
                 channel = _TcpChannel()
+                channel.push_sink = self._push_sink
                 await channel.connect(actor.port)
                 self._channels[name] = channel
 
@@ -430,13 +538,51 @@ class ServiceDht(Dht):
         self._bridge().run(self._restart_node(name, store))
 
     async def _restart_node(self, name: str, store: PeerStore) -> None:
-        actor = _ActorNode(KeyValuePeer(name, store))
+        actor = _ActorNode(KeyValuePeer(name, store), self._handlers)
+        actor.push_sink = self._push_sink
         self._actors[name] = actor
         if self._transport_kind == "tcp":
             await actor.start_listener()
             channel = _TcpChannel()
+            channel.push_sink = self._push_sink
             await channel.connect(actor.port)
             self._channels[name] = channel
+
+    # ------------------------------------------------------------------
+    # Extension opcodes (the dissemination plane)
+    # ------------------------------------------------------------------
+
+    def install_handler(self, op: Op, handler: Any) -> None:
+        """Serve extension opcode *op* with ``async handler(peer, frame)
+        -> reply bytes`` on every actor, surviving crash/restart.
+
+        Extension frames run as spawned tasks on the owning actor, so a
+        handler may itself issue :meth:`_request` calls to other actors
+        (or back to its own) without deadlocking the serve loop.
+        """
+        self._handlers[int(op)] = handler
+        for actor in self._actors.values():
+            actor.handlers[int(op)] = handler
+
+    def set_push_sink(self, sink: Any) -> None:
+        """Route unsolicited (``request_id == 0``) frames to *sink*.
+
+        On the TCP transport the sink hangs off each client channel's
+        read loop; on the inbox transport it stands in for the missing
+        server-to-client socket direction.
+        """
+        self._push_sink = sink
+        for actor in self._actors.values():
+            actor.push_sink = sink
+        for channel in self._channels.values():
+            channel.push_sink = sink
+
+    def push_to_clients(self, name: str, frame_bytes: bytes) -> "Any":
+        """Awaitable: emit one unsolicited frame from peer *name*."""
+        actor = self._actors.get(name)
+        if actor is None or actor.task.done():
+            raise NodeUnreachableError(f"service peer {name!r} is down")
+        return actor.push(frame_bytes)
 
     def __enter__(self) -> "ServiceDht":
         return self.start()
@@ -495,16 +641,25 @@ class ServiceDht(Dht):
     # Requests
     # ------------------------------------------------------------------
 
-    async def _request(self, op: Op, key: str, value: Any = None) -> Any:
+    async def _request(
+        self, op: Op, key: str, value: Any = None, *, body: Any = None
+    ) -> Any:
         stats = self.network.stats
         actor = self._actors[self._ring.peer_of(key)]
         request_id = next(self._request_ids)
-        frame_bytes = encode_request(op, request_id, key, value)
+        if body is not None:
+            # Extension opcode: *key* routes the frame (peer_of above)
+            # and prices it, but the payload is the opcode's own body.
+            frame_bytes = encode_frame(op, request_id, body)
+            cost_value = body
+        else:
+            frame_bytes = encode_request(op, request_id, key, value)
+            cost_value = value
         stats.record_rpc()
         stats.record_message(
             op.name.lower(),
-            frame_wire_cost(op, key, value),
-            payload=data_wire_size(value),
+            frame_wire_cost(op, key, cost_value),
+            payload=data_wire_size(cost_value),
         )
         if self._transport_kind == "tcp":
             channel = self._channels.get(actor.peer.name)
@@ -532,12 +687,14 @@ class ServiceDht(Dht):
         except NodeUnreachableError as error:
             return BatchFailure(error)
 
-    def _call(self, op: Op, key: str, value: Any = None) -> Any:
+    def _call(
+        self, op: Op, key: str, value: Any = None, *, body: Any = None
+    ) -> Any:
         bridge = self._bridge()
         clock = self.network.clock
         started = clock.now
         try:
-            return bridge.run(self._request(op, key, value))
+            return bridge.run(self._request(op, key, value, body=body))
         finally:
             self.network.stats.record_wall_span(clock.now - started)
 

@@ -50,13 +50,25 @@ class WireError(ReproError):
 
 
 class Op(IntEnum):
-    """Frame opcodes: the five Dht primitives plus the two replies."""
+    """Frame opcodes: the five Dht primitives, the dissemination-plane
+    extensions, and the two replies.
+
+    ``MCAST`` carries one prefix-multicast subquery — body
+    ``(target_label, subquery, query)`` — answered with the subtree's
+    aggregated ``(records, visited, rounds, unresolved)``.  ``PUSH``
+    is dual-use: as a request it asks a subscription-table owner to
+    deliver to a client; with ``request_id == 0`` it is the
+    *unsolicited* server-to-client delivery frame itself (the one
+    direction the request/reply protocol otherwise lacks).
+    """
 
     LOOKUP = 1
     GET = 2
     PUT = 3
     REMOVE = 4
     CONTAINS = 5
+    MCAST = 6
+    PUSH = 7
     REPLY_OK = 32
     REPLY_ERR = 33
 

@@ -395,3 +395,87 @@ class TestSharedDhtChurn:
                 assert result.bucket.covers(target)
                 assert dht.stats.lookups - before == result.lookups
         writer.check_invariants()
+
+
+class TestProactiveInvalidation:
+    """Satellite fix: a *subscribed* reader's cache hears about merges
+    when they happen, not when a probe fails.
+
+    Without a subscription, a hint for a merged-away leaf survives in
+    the cache until the next lookup pays a wasted probe
+    (``cache_stale``).  The dissemination plane's re-homing
+    notifications forget dead labels and observe born ones proactively,
+    so the subscribed reader performs **zero** stale-hint probes across
+    the same churn.
+    """
+
+    REGION = ((0.0, 0.0), (0.25, 0.25))
+
+    def churn(self, subscribe):
+        from repro.common.geometry import as_region
+        from repro.mcast import ContinuousQueryPlane
+
+        writer, reader, dht = make_pair()
+        plane = ContinuousQueryPlane(writer)
+        rng = random.Random(9)
+        points = cluster(rng, 120)
+        for point in points:
+            writer.insert(point)
+        if subscribe:
+            plane.subscribe(as_region(self.REGION), cache=reader.cache)
+        for point in points[:20]:
+            reader.lookup(point)  # cache deep leaves
+        for point in points[:110]:  # cascading merges back up
+            assert writer.delete(point)
+        before = dht.stats.snapshot()
+        for point in points[110:]:
+            result = reader.lookup(point)
+            assert result.bucket.covers(point)
+        writer.check_invariants()
+        return dht.stats.cache_stale - before["cache_stale"]
+
+    def test_unsubscribed_reader_pays_stale_probes(self):
+        """Control: the very churn the fix addresses really does
+        produce stale-hint probes without notifications."""
+        assert self.churn(subscribe=False) > 0
+
+    def test_subscribed_reader_makes_zero_stale_probes(self):
+        assert self.churn(subscribe=True) == 0
+
+    def test_notifications_rewrite_hints_to_live_labels(self):
+        """After a split, the reader's cache holds the born children
+        (deep, usable hints), not the dead origin."""
+        from repro.common.geometry import as_region
+        from repro.mcast import ContinuousQueryPlane
+
+        writer, reader, dht = make_pair()
+        plane = ContinuousQueryPlane(writer)
+        rng = random.Random(10)
+        seeds = cluster(rng, 6)
+        for point in seeds:
+            writer.insert(point)
+        subscriber = plane.subscribe(
+            as_region(self.REGION), cache=reader.cache
+        )
+        for point in seeds:
+            reader.lookup(point)
+        for point in cluster(rng, 120):
+            writer.insert(point)  # deep splits in the region
+        assert subscriber.invalidations
+        dead = {
+            label
+            for invalidation in subscriber.invalidations
+            for label in invalidation[0]
+        }
+        born = {
+            label
+            for invalidation in subscriber.invalidations
+            for label in invalidation[1]
+        }
+        # Dead labels that never came back must be out of the cache.
+        for label in dead - born:
+            assert label not in reader.cache
+        before = dht.stats.snapshot()
+        for point in seeds:
+            assert reader.lookup(point).bucket.covers(point)
+        assert dht.stats.cache_stale - before["cache_stale"] == 0

@@ -1,0 +1,396 @@
+"""Tests for the dissemination plane: prefix multicast + continuous
+range queries.
+
+The headline properties:
+
+* multicast returns the same answers at the same metered costs as
+  client fan-out — across all three overlays, both execution planes,
+  and both the simulated and the asyncio service runtimes — while the
+  initiator originates exactly **one** message per query;
+* a continuous query keeps delivering through splits, merges, and (on
+  a durable ring) a crash-restart cycle, each matching insert exactly
+  once.
+"""
+
+import random
+import tempfile
+
+import pytest
+
+from repro.common.config import IndexConfig
+from repro.common.errors import NodeUnreachableError, ReproError
+from repro.common.geometry import Region, region_of_label
+from repro.core.distributed import DistributedQueryRuntime
+from repro.core.index import MLightIndex
+from repro.core.naming import naming_function
+from repro.dht.chord import ChordDht
+from repro.dht.kademlia import KademliaDht
+from repro.dht.localhash import LocalDht
+from repro.dht.pastry import PastryDht
+from repro.mcast import (
+    MCAST_SUFFIX,
+    ContinuousQueryPlane,
+    MulticastRuntime,
+    ServiceContinuousPlane,
+    ServiceMulticast,
+    sub_key,
+)
+from repro.runtime import create_dht
+from tests.conftest import brute_force_range
+
+CONFIG = IndexConfig(
+    dims=2, max_depth=14, split_threshold=10, merge_threshold=5
+)
+
+#: Stat counters allowed to differ between fan-out and multicast:
+#: ``hops`` (route length depends on the routing start position) and
+#: the multicast-only meters.
+EXCLUDED = ("hops", "mcasts", "mcast_forwards")
+
+OVERLAYS = [
+    ("chord", lambda: ChordDht.build(10)),
+    ("kademlia", lambda: KademliaDht.build(10)),
+    ("pastry", lambda: PastryDht.build(10)),
+]
+
+
+def build_over(dht, n_points=250, seed=0, config=CONFIG):
+    index = MLightIndex(dht, config)
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n_points)]
+    for point in points:
+        index.insert(point)
+    return index, points
+
+
+def random_queries(seed, count=6):
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(count):
+        lows = (rng.random() * 0.7, rng.random() * 0.7)
+        highs = (
+            lows[0] + rng.random() * 0.3, lows[1] + rng.random() * 0.3
+        )
+        queries.append(Region(lows, highs))
+    return queries
+
+
+def comparable(snapshot):
+    return {k: v for k, v in snapshot.items() if k not in EXCLUDED}
+
+
+class TestMulticastEquivalence:
+    """Multicast == fan-out == engine, answer for answer, cost for
+    cost, on every simulated overlay."""
+
+    @pytest.mark.parametrize(
+        "factory", [f for _, f in OVERLAYS], ids=[n for n, _ in OVERLAYS]
+    )
+    def test_matches_fanout_on_every_meter(self, factory):
+        dht = factory()
+        index, points = build_over(dht)
+        fanout = DistributedQueryRuntime(dht, 2, CONFIG.max_depth)
+        mcast = MulticastRuntime(dht, 2, CONFIG.max_depth)
+        for query in random_queries(3):
+            before = dht.stats.snapshot()
+            fan_result = fanout.query(query)
+            mid = dht.stats.snapshot()
+            mc_result = mcast.query(query)
+            after = dht.stats.snapshot()
+            fan_delta = {k: mid[k] - before[k] for k in before}
+            mc_delta = {k: after[k] - mid[k] for k in before}
+            assert sorted(r.key for r in mc_result.records) == sorted(
+                r.key for r in fan_result.records
+            )
+            assert mc_result.visited_leaves == fan_result.visited_leaves
+            assert mc_result.rounds == fan_result.rounds
+            assert comparable(mc_delta) == comparable(fan_delta)
+
+    @pytest.mark.parametrize(
+        "factory", [f for _, f in OVERLAYS], ids=[n for n, _ in OVERLAYS]
+    )
+    def test_matches_brute_force(self, factory):
+        dht = factory()
+        index, points = build_over(dht, seed=4)
+        mcast = MulticastRuntime(dht, 2, CONFIG.max_depth)
+        for query in random_queries(5):
+            result = mcast.query(query)
+            assert sorted(r.key for r in result.records) == (
+                brute_force_range(points, query)
+            )
+
+    @pytest.mark.parametrize("execution", ["batched", "sequential"])
+    def test_matches_engine_on_both_execution_planes(self, execution):
+        config = IndexConfig(
+            dims=2, max_depth=14, split_threshold=10, merge_threshold=5,
+            execution=execution,
+        )
+        dht = ChordDht.build(10)
+        index, points = build_over(dht, config=config)
+        mcast = MulticastRuntime(dht, 2, config.max_depth)
+        for query in random_queries(7):
+            engine_result = index.range_query(query)
+            mc_result = mcast.query(query)
+            assert sorted(r.key for r in mc_result.records) == sorted(
+                r.key for r in engine_result.records
+            )
+            assert (
+                mc_result.visited_leaves == engine_result.visited_leaves
+            )
+            assert mc_result.lookups == engine_result.lookups
+            assert mc_result.rounds == engine_result.rounds
+
+    def test_agents_coexist_with_fanout_agents(self):
+        dht = ChordDht.build(6)
+        build_over(dht, n_points=40)
+        DistributedQueryRuntime(dht, 2, CONFIG.max_depth)
+        MulticastRuntime(dht, 2, CONFIG.max_depth)
+        for peer in dht.peers():
+            assert dht.network.is_registered(peer + MCAST_SUFFIX)
+
+    def test_localdht_rejected(self):
+        with pytest.raises(ReproError):
+            MulticastRuntime(LocalDht(8), 2, 14)
+
+
+class TestInitiatorMessages:
+    """The tentpole bound: O(1) initiator-originated messages."""
+
+    @pytest.mark.parametrize(
+        "factory", [f for _, f in OVERLAYS], ids=[n for n, _ in OVERLAYS]
+    )
+    def test_one_initiator_message_per_query(self, factory):
+        dht = factory()
+        index, points = build_over(dht)
+        mcast = MulticastRuntime(dht, 2, CONFIG.max_depth)
+        query = Region((0.0, 0.0), (1.0, 1.0))
+        before = dht.stats.snapshot()
+        result = mcast.query(query)
+        delta = {
+            k: v - before[k] for k, v in dht.stats.snapshot().items()
+        }
+        # One initiator-originated message; every DHT-lookup the query
+        # performed originated at a *peer* (a native forward), so the
+        # fan-out's O(#branches) client messages collapse to O(1).
+        assert delta["mcasts"] == 1
+        assert delta["mcast_forwards"] == delta["lookups"]
+        assert delta["lookups"] == len(result.visited_leaves)
+        assert delta["lookups"] > 1  # the bound is non-vacuous
+
+    def test_fanout_originates_one_message_per_branch(self):
+        """The baseline the tentpole improves on: client fan-out pays
+        one client-originated resolution per visited node."""
+        dht = ChordDht.build(10)
+        index, points = build_over(dht)
+        fanout = DistributedQueryRuntime(dht, 2, CONFIG.max_depth)
+        query = Region((0.0, 0.0), (1.0, 1.0))
+        before = dht.stats.snapshot()
+        result = fanout.query(query)
+        delta = {
+            k: v - before[k] for k, v in dht.stats.snapshot().items()
+        }
+        assert delta["mcasts"] == 0
+        assert delta["mcast_forwards"] == 0
+        assert delta["lookups"] == len(result.visited_leaves) > 1
+
+
+class TestServiceMulticast:
+    """The same equivalence spoken as MCAST wire frames."""
+
+    @pytest.mark.parametrize("kind", ["asyncio", "tcp"])
+    def test_matches_engine_over_the_service_runtime(self, kind):
+        with create_dht(kind=kind, n_peers=8) as dht:
+            index, points = build_over(dht, n_points=200)
+            mcast = ServiceMulticast(dht, 2, CONFIG.max_depth)
+            for query in random_queries(9, count=4):
+                engine_result = index.range_query(query)
+                mc_result = mcast.query(query)
+                assert sorted(
+                    r.key for r in mc_result.records
+                ) == sorted(r.key for r in engine_result.records)
+                assert (
+                    mc_result.visited_leaves
+                    == engine_result.visited_leaves
+                )
+                assert mc_result.lookups == engine_result.lookups
+                assert mc_result.rounds == engine_result.rounds
+
+    def test_one_initiator_frame(self):
+        with create_dht(kind="asyncio", n_peers=8) as dht:
+            index, points = build_over(dht, n_points=200)
+            mcast = ServiceMulticast(dht, 2, CONFIG.max_depth)
+            before = dht.stats.snapshot()
+            result = mcast.query(Region((0.0, 0.0), (1.0, 1.0)))
+            delta = {
+                k: v - before[k]
+                for k, v in dht.stats.snapshot().items()
+            }
+            assert delta["mcasts"] == 1
+            assert delta["mcast_forwards"] == delta["lookups"]
+            assert delta["lookups"] == len(result.visited_leaves) > 1
+
+    def test_simulated_substrates_rejected(self):
+        dht = ChordDht.build(4)
+        with pytest.raises(ReproError):
+            ServiceMulticast(dht, 2, 14)
+
+
+REGION = Region((0.2, 0.2), (0.7, 0.7))
+
+
+def in_region(points):
+    return sorted(p for p in points if REGION.contains_point_closed(p))
+
+
+class TestContinuousQueries:
+    """Subscribe once; matching inserts arrive exactly once, through
+    splits, merges, and churn."""
+
+    def test_delivery_through_splits(self):
+        dht = ChordDht.build(8)
+        index, points = build_over(dht, n_points=60, seed=11)
+        plane = ContinuousQueryPlane(index)
+        subscriber = plane.subscribe(REGION)
+        rng = random.Random(12)
+        batch = [(rng.random(), rng.random()) for _ in range(120)]
+        for point in batch:
+            index.insert(point)
+        assert sorted(subscriber.delivered_keys) == in_region(batch)
+        # No duplicates even where split re-homing copied an entry
+        # into both children.
+        assert len(subscriber.delivered_keys) == len(
+            set(subscriber.delivered_keys)
+        )
+
+    def test_delivery_through_merges(self):
+        dht = ChordDht.build(8)
+        index, points = build_over(dht, n_points=200, seed=13)
+        plane = ContinuousQueryPlane(index)
+        subscriber = plane.subscribe(REGION)
+        for point in points[40:]:
+            index.delete(point)
+        assert subscriber.invalidations  # merges notified proactively
+        extra = [(0.31, 0.33), (0.55, 0.61), (0.05, 0.95)]
+        for point in extra:
+            index.insert(point)
+        assert sorted(subscriber.delivered_keys) == in_region(extra)
+
+    def test_unsubscribe_stops_delivery(self):
+        dht = ChordDht.build(8)
+        index, points = build_over(dht, n_points=60, seed=14)
+        plane = ContinuousQueryPlane(index)
+        subscriber = plane.subscribe(REGION)
+        plane.unsubscribe(subscriber)
+        index.insert((0.5, 0.5))
+        assert subscriber.delivered_keys == []
+
+    def test_subscribe_meters_and_covered_set(self):
+        dht = ChordDht.build(8)
+        index, points = build_over(dht, n_points=80, seed=15)
+        plane = ContinuousQueryPlane(index)
+        before = dht.stats.subscribes
+        plane.subscribe(REGION)
+        assert dht.stats.subscribes == before + 1
+        assert plane.covered
+        from repro.common.geometry import query_overlaps_cell
+
+        for label in plane.covered:
+            cell = region_of_label(label, 2)
+            assert query_overlaps_cell(REGION, cell)
+
+    def test_exactly_once_through_crash_restart(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            dht = ChordDht.build(10, durability="log", data_dir=tmp)
+            index, points = build_over(dht, n_points=80, seed=16)
+            plane = ContinuousQueryPlane(index)
+            subscriber = plane.subscribe(REGION)
+            delivered_before = list(subscriber.delivered_keys)
+            # Crash the table owner of a covered leaf, then insert a
+            # point inside that leaf during the downtime.
+            queued = None
+            for label in sorted(plane.covered):
+                cell = region_of_label(label, 2)
+                mid = tuple(
+                    min(max((lo + hi) / 2, 0.2001), 0.6999)
+                    for lo, hi in zip(cell.lows, cell.highs)
+                )
+                if not cell.contains_point(mid):
+                    continue
+                victim = dht.peer_of(sub_key(naming_function(label, 2)))
+                dht.fail(victim)
+                try:
+                    index.insert(mid)
+                except NodeUnreachableError:
+                    dht.restart(victim)
+                    continue
+                if plane.pending:
+                    queued = mid
+                    break
+                dht.restart(victim)
+            assert queued is not None, "no covered leaf produced a queue"
+            assert queued not in subscriber.delivered_keys
+            dht.restart(victim)
+            flushed = plane.flush_pending()
+            assert flushed == 1
+            assert not plane.pending
+            delivered = subscriber.delivered_keys
+            assert delivered.count(queued) == 1
+            assert delivered[: len(delivered_before)] == delivered_before
+            assert len(delivered) == len(set(delivered))
+
+
+class TestServiceContinuous:
+    """Continuous queries as PUSH wire frames on the service runtime."""
+
+    @pytest.mark.parametrize("kind", ["asyncio", "tcp"])
+    def test_delivery_and_rehoming(self, kind):
+        with create_dht(kind=kind, n_peers=8) as dht:
+            index, points = build_over(dht, n_points=60, seed=21)
+            plane = ServiceContinuousPlane(index)
+            subscriber = plane.subscribe(REGION)
+            rng = random.Random(22)
+            batch = [(rng.random(), rng.random()) for _ in range(100)]
+            for point in batch:
+                index.insert(point)
+            assert sorted(subscriber.delivered_keys) == in_region(batch)
+            assert len(subscriber.delivered_keys) == len(
+                set(subscriber.delivered_keys)
+            )
+            assert dht.stats.pushes > 0
+
+    def test_exactly_once_through_crash_restart(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            with create_dht(
+                kind="asyncio", n_peers=8, durability="log", data_dir=tmp
+            ) as dht:
+                index, points = build_over(dht, n_points=80, seed=23)
+                plane = ServiceContinuousPlane(index)
+                subscriber = plane.subscribe(REGION)
+                queued = None
+                for label in sorted(plane.covered):
+                    cell = region_of_label(label, 2)
+                    mid = tuple(
+                        min(max((lo + hi) / 2, 0.2001), 0.6999)
+                        for lo, hi in zip(cell.lows, cell.highs)
+                    )
+                    if not cell.contains_point(mid):
+                        continue
+                    victim = dht.peer_of(
+                        sub_key(naming_function(label, 2))
+                    )
+                    dht.fail(victim)
+                    try:
+                        index.insert(mid)
+                    except NodeUnreachableError:
+                        dht.restart(victim)
+                        continue
+                    if plane.pending:
+                        queued = mid
+                        break
+                    dht.restart(victim)
+                assert queued is not None
+                dht.restart(victim)
+                assert plane.flush_pending() == 1
+                delivered = subscriber.delivered_keys
+                assert delivered.count(queued) == 1
+                assert len(delivered) == len(set(delivered))

@@ -600,3 +600,127 @@ class TestCriticalPath:
             kinds, key=["query", "update", "round", "dht", "net"].index
         )
         assert chain[-1].kind == "net"
+
+
+# ----------------------------------------------------------------------
+# Distributed-runtime fault accounting (the forward_all audit)
+# ----------------------------------------------------------------------
+
+
+class TestDistributedFaultAccounting:
+    """The peer-forwarding runtime under FaultyDht + RetryingDht.
+
+    The audited drift: ``forward_all`` charged a flat ``rounds + 1``
+    per branch while the engine reconciles retry waves into
+    ``batch_rounds`` — under faults the two execution models' round
+    meters drifted apart.  The fix makes each forwarding site account
+    its own retry rounds locally (``retries`` delta on the sequential
+    hop, ``batch_rounds`` delta on the batched step) and *never*
+    applies the engine's global ``max(rounds, batch_rounds)``, which
+    would inflate fault-free sibling batches.
+    """
+
+    def make_stack(self, drop_rate=0.0, seed=3, attempts=3, dead_keys=()):
+        from repro.core.distributed import DistributedQueryRuntime
+
+        chord = ChordDht.build(12)
+        stack = RetryingDht(
+            FaultyDht(
+                chord,
+                FaultPlan(seed, drop_rate=drop_rate, dead_keys=dead_keys),
+            ),
+            attempts=attempts,
+        )
+        config = IndexConfig(
+            dims=2, split_threshold=10, merge_threshold=5
+        )
+        with stack.inner.suspended():
+            index = MLightIndex(stack, config)
+            for i, point in enumerate(SEED_POINTS):
+                index.insert(point, i)
+        runtime = DistributedQueryRuntime(stack, 2, config.max_depth)
+        return index, runtime, stack, chord
+
+    def queries(self):
+        from repro.common.geometry import Region
+
+        return [
+            Region(
+                (0.05 * i, 0.05 * i), (0.05 * i + 0.5, 0.05 * i + 0.5)
+            )
+            for i in range(8)
+        ]
+
+    def test_wrapper_chain_construction_and_faultfree_equality(self):
+        """A runtime built over the full wrapper stack behaves exactly
+        like one built on the bare substrate when no faults fire."""
+        index, runtime, stack, chord = self.make_stack(drop_rate=0.0)
+        for query in self.queries():
+            engine_result = index.range_query(query)
+            result = runtime.query(query)
+            assert result.complete
+            assert sorted(r.key for r in result.records) == sorted(
+                r.key for r in engine_result.records
+            )
+            assert result.lookups == engine_result.lookups
+            assert result.rounds == engine_result.rounds
+
+    def test_batch_rounds_published_equals_stats_delta(self):
+        """``result.batch_rounds`` is the whole-query stats delta —
+        retry waves included — not a per-branch reconstruction."""
+        index, runtime, stack, chord = self.make_stack(drop_rate=0.25)
+        stats = stack.stats
+        for query in self.queries():
+            before = stats.batch_rounds
+            result = runtime.query(query)
+            assert result.batch_rounds == stats.batch_rounds - before
+        assert stats.retries > 0  # the sweep actually exercised faults
+
+    def test_rounds_never_below_faultfree_baseline(self):
+        """Retries only ever add wire rounds to the critical path; a
+        fully-resolved faulty query can't report fewer rounds than the
+        fault-free run of the same query."""
+        index, runtime, stack, chord = self.make_stack(drop_rate=0.25)
+        clean_index, clean_runtime, _, _ = self.make_stack(drop_rate=0.0)
+        inflated = 0
+        for query in self.queries():
+            clean = clean_runtime.query(query)
+            result = runtime.query(query)
+            if not result.complete:
+                continue
+            assert sorted(r.key for r in result.records) == sorted(
+                r.key for r in clean.records
+            )
+            assert result.rounds >= clean.rounds
+            if result.rounds > clean.rounds:
+                inflated += 1
+        assert stack.stats.retries > 0
+        assert inflated > 0  # at least one retry wave hit a query path
+
+    def test_unreachable_owner_degrades_to_unresolved(self):
+        """An owner dead past the retry budget degrades its subregion
+        into ``result.unresolved`` instead of aborting the query."""
+        from repro.core.keys import bucket_key
+        from repro.core.naming import naming_function
+
+        from repro.common.geometry import Region
+
+        wide = Region((0.1, 0.1), (0.9, 0.9))
+        index, runtime, stack, chord = self.make_stack(drop_rate=0.0)
+        probe = runtime.query(wide)
+        victim_label = sorted(probe.visited_leaves)[-1]
+        dead_key = bucket_key(naming_function(victim_label, 2))
+        index2, runtime2, stack2, chord2 = self.make_stack(
+            dead_keys=[dead_key], attempts=2
+        )
+        result = runtime2.query(wide)
+        assert not result.complete
+        assert result.unresolved
+        assert victim_label not in result.visited_leaves
+        # Everything outside the dead subtree still answered: the
+        # degraded answer is a strict, non-empty subset of the
+        # complete one.
+        survivors = sorted(r.key for r in result.records)
+        complete = sorted(r.key for r in probe.records)
+        assert 0 < len(survivors) < len(complete)
+        assert set(survivors) <= set(complete)

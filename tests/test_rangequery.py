@@ -200,3 +200,107 @@ class TestEfficiency:
         for _ in range(5):
             result = engine.query(random_query(rng, 2), lookahead)
             assert result.rounds == result.batch_rounds > 0
+
+
+class TestComputeLcaBoundaryAudit:
+    """Satellite audit: ``compute_lca`` against a naive baseline.
+
+    The suspect class was queries whose faces land exactly on cell
+    boundaries — the mixed closed-query/half-open-cell semantics make
+    the upper face the dangerous one (a record at ``q_high == c_high``
+    lives in the *adjacent* cell unless the face is the global
+    boundary).  The audit found no violation; these tests pin the
+    behaviour to an exhaustively-searched baseline in dims 1-4 so a
+    future regression cannot hide in the boundary arithmetic.
+    """
+
+    @staticmethod
+    def naive_resolves(cell, query):
+        """Point-level restatement of the resolution predicate: every
+        point a closed query can match is owned by the half-open cell
+        (closed at the global upper boundary)."""
+        for c_low, q_low, q_high, c_high in zip(
+            cell.lows, query.lows, query.highs, cell.highs
+        ):
+            if q_low < c_low:
+                return False
+            if q_high > c_high:
+                return False
+            if q_high == c_high and c_high != 1.0:
+                # A matching record can sit exactly on this shared
+                # face, and the face belongs to the neighbour.
+                return False
+        return True
+
+    @classmethod
+    def naive_lca(cls, query, dims, max_depth):
+        """Exhaustive BFS for the deepest resolving label — no descent
+        shortcuts, so a wrong early ``break`` in the production code
+        cannot be reproduced here."""
+        from repro.common.labels import children, label_depth
+
+        best = root_label(dims)
+        frontier = [best]
+        while frontier:
+            nxt = []
+            for label in frontier:
+                for child in children(label, dims):
+                    if label_depth(child, dims) > max_depth:
+                        continue
+                    if cls.naive_resolves(
+                        region_of_label(child, dims), query
+                    ):
+                        nxt.append(child)
+            if not nxt:
+                break
+            # Resolving labels form a chain: siblings have disjoint
+            # interiors, so at most one child can resolve.
+            assert len(nxt) == 1, (query, nxt)
+            best = nxt[0]
+            frontier = nxt
+        return best
+
+    @pytest.mark.parametrize("dims", [1, 2, 3, 4])
+    def test_matches_naive_on_random_queries(self, dims):
+        rng = random.Random(100 + dims)
+        for _ in range(60):
+            query = random_query(rng, dims)
+            assert compute_lca(query, dims, 8) == self.naive_lca(
+                query, dims, 8
+            ), query
+
+    @pytest.mark.parametrize("dims", [1, 2, 3, 4])
+    def test_matches_naive_on_binary_boundary_queries(self, dims):
+        """Query faces on exact cell boundaries k/2^j — the class the
+        audit targeted."""
+        rng = random.Random(200 + dims)
+        for _ in range(80):
+            lows, highs = [], []
+            for _ in range(dims):
+                j = rng.randint(1, 4)
+                a = rng.randint(0, 2**j - 1) / 2**j
+                b = rng.randint(int(a * 2**j) + 1, 2**j) / 2**j
+                lows.append(a)
+                highs.append(b)
+            query = Region(tuple(lows), tuple(highs))
+            assert compute_lca(query, dims, 8) == self.naive_lca(
+                query, dims, 8
+            ), query
+
+    @pytest.mark.parametrize("dims", [1, 2, 3, 4])
+    def test_lca_cell_owns_every_query_corner(self, dims):
+        """Safety half of the contract, stated point-wise: both query
+        corners (the extreme matchable records) are owned by the LCA
+        cell under half-open ownership."""
+        rng = random.Random(300 + dims)
+        for _ in range(40):
+            query = random_query(rng, dims)
+            cell = region_of_label(
+                compute_lca(query, dims, 10), dims
+            )
+            for corner in (query.lows, query.highs):
+                for p, c_low, c_high in zip(
+                    corner, cell.lows, cell.highs
+                ):
+                    assert c_low <= p
+                    assert p < c_high or (c_high == 1.0 and p <= 1.0)
